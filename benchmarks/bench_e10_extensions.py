@@ -1,0 +1,12 @@
+"""Benchmark E10 — future-work extensions: RSM + availability manager (Section 5).
+
+Regenerates the E10 table(s); see EXPERIMENTS.md for the recorded output
+and the paper-vs-measured discussion.
+"""
+
+from repro.experiments import e10_extensions
+
+
+def test_e10(benchmark, experiment_runner):
+    tables = experiment_runner(benchmark, e10_extensions)
+    assert tables and all(table.rows for table in tables)

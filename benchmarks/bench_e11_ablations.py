@@ -1,0 +1,11 @@
+"""Benchmark E11 — ablations of the design choices DESIGN.md §6 calls out.
+
+Regenerates the E11 table; see EXPERIMENTS.md for the recorded output.
+"""
+
+from repro.experiments import e11_ablations
+
+
+def test_e11(benchmark, experiment_runner):
+    tables = experiment_runner(benchmark, e11_ablations)
+    assert tables and all(table.rows for table in tables)

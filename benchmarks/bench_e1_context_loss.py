@@ -1,0 +1,12 @@
+"""Benchmark E1 — context-update loss vs backups and propagation period (Section 4).
+
+Regenerates the E1 table(s); see EXPERIMENTS.md for the recorded output
+and the paper-vs-measured discussion.
+"""
+
+from repro.experiments import e1_context_loss
+
+
+def test_e1(benchmark, experiment_runner):
+    tables = experiment_runner(benchmark, e1_context_loss)
+    assert tables and all(table.rows for table in tables)

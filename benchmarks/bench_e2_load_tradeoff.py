@@ -1,0 +1,12 @@
+"""Benchmark E2 — per-server load vs backups and propagation period (Section 4).
+
+Regenerates the E2 table(s); see EXPERIMENTS.md for the recorded output
+and the paper-vs-measured discussion.
+"""
+
+from repro.experiments import e2_load_tradeoff
+
+
+def test_e2(benchmark, experiment_runner):
+    tables = experiment_runner(benchmark, e2_load_tradeoff)
+    assert tables and all(table.rows for table in tables)

@@ -1,0 +1,12 @@
+"""Benchmark E3 — unique-primary violations by fault scenario (Section 4).
+
+Regenerates the E3 table(s); see EXPERIMENTS.md for the recorded output
+and the paper-vs-measured discussion.
+"""
+
+from repro.experiments import e3_primary_uniqueness
+
+
+def test_e3(benchmark, experiment_runner):
+    tables = experiment_runner(benchmark, e3_primary_uniqueness)
+    assert tables and all(table.rows for table in tables)

@@ -1,0 +1,12 @@
+"""Benchmark E4 — failover duplicates vs propagation period (Section 3.1).
+
+Regenerates the E4 table(s); see EXPERIMENTS.md for the recorded output
+and the paper-vs-measured discussion.
+"""
+
+from repro.experiments import e4_failover_duplicates
+
+
+def test_e4(benchmark, experiment_runner):
+    tables = experiment_runner(benchmark, e4_failover_duplicates)
+    assert tables and all(table.rows for table in tables)

@@ -1,0 +1,12 @@
+"""Benchmark E5 — service outage vs replication degree (Section 4).
+
+Regenerates the E5 table(s); see EXPERIMENTS.md for the recorded output
+and the paper-vs-measured discussion.
+"""
+
+from repro.experiments import e5_replication_degree
+
+
+def test_e5(benchmark, experiment_runner):
+    tables = experiment_runner(benchmark, e5_replication_degree)
+    assert tables and all(table.rows for table in tables)

@@ -1,0 +1,12 @@
+"""Benchmark E6 — failure-only vs join-type takeover (Section 3.4).
+
+Regenerates the E6 table(s); see EXPERIMENTS.md for the recorded output
+and the paper-vs-measured discussion.
+"""
+
+from repro.experiments import e6_takeover_latency
+
+
+def test_e6(benchmark, experiment_runner):
+    tables = experiment_runner(benchmark, e6_takeover_latency)
+    assert tables and all(table.rows for table in tables)

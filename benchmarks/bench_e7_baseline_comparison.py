@@ -1,0 +1,12 @@
+"""Benchmark E7 — framework vs single-server / no-backup [2] / full-sync.
+
+Regenerates the E7 table(s); see EXPERIMENTS.md for the recorded output
+and the paper-vs-measured discussion.
+"""
+
+from repro.experiments import e7_baseline_comparison
+
+
+def test_e7(benchmark, experiment_runner):
+    tables = experiment_runner(benchmark, e7_baseline_comparison)
+    assert tables and all(table.rows for table in tables)

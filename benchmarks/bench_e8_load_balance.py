@@ -1,0 +1,12 @@
+"""Benchmark E8 — fair client redistribution (Section 3.4).
+
+Regenerates the E8 table(s); see EXPERIMENTS.md for the recorded output
+and the paper-vs-measured discussion.
+"""
+
+from repro.experiments import e8_load_balance
+
+
+def test_e8(benchmark, experiment_runner):
+    tables = experiment_runner(benchmark, e8_load_balance)
+    assert tables and all(table.rows for table in tables)

@@ -1,0 +1,12 @@
+"""Benchmark E9 — duplicate-vs-loss policies incl. MPEG (Section 4).
+
+Regenerates the E9 table(s); see EXPERIMENTS.md for the recorded output
+and the paper-vs-measured discussion.
+"""
+
+from repro.experiments import e9_uncertainty_policy
+
+
+def test_e9(benchmark, experiment_runner):
+    tables = experiment_runner(benchmark, e9_uncertainty_policy)
+    assert tables and all(table.rows for table in tables)

@@ -1,0 +1,87 @@
+"""G1 — GCS micro-benchmarks: the substrate the framework stands on.
+
+Not a paper table; these quantify the primitives Section 3.2 assumes:
+totally ordered multicast throughput (simulated messages per wall-second,
+i.e. simulator efficiency), view-change convergence latency vs group
+size, and the client open-group injection path.
+"""
+
+import os
+
+from repro.metrics.report import Table
+from tests.gcs.conftest import GcsWorld
+
+
+def _throughput_world(n_daemons: int, n_messages: int) -> float:
+    world = GcsWorld(n_daemons)
+    world.settle()
+    for node in world.daemon_ids:
+        world.daemons[node].join("g")
+    world.run(1.0)
+    for index in range(n_messages):
+        world.daemons[world.daemon_ids[index % n_daemons]].mcast("g", index)
+    world.run(30.0)
+    delivered = len(world.apps[world.daemon_ids[0]].payloads("g"))
+    assert delivered == n_messages
+    return world.sim.now
+
+
+def test_total_order_throughput(benchmark):
+    n_messages = 300 if os.environ.get("REPRO_BENCH_FULL") != "1" else 2000
+
+    result = benchmark.pedantic(
+        lambda: _throughput_world(4, n_messages), rounds=1, iterations=1
+    )
+    print(f"\nordered {n_messages} multicasts across 4 daemons "
+          f"(simulated time {result:.1f}s)")
+
+
+def test_view_change_latency(benchmark):
+    table = Table(
+        title="G1: view convergence latency after one crash vs group size",
+        columns=["daemons", "converge_s"],
+    )
+
+    def sweep():
+        for n in (2, 4, 8):
+            world = GcsWorld(n)
+            world.settle()
+            world.daemons[world.daemon_ids[-1]].crash()
+            t0 = world.sim.now
+            survivors = world.daemon_ids[:-1]
+            deadline = t0 + 10.0
+            while world.sim.now < deadline:
+                world.run(0.05)
+                views = {world.daemons[s].config.view_id for s in survivors}
+                members_ok = all(
+                    set(world.daemons[s].config.members) == set(survivors)
+                    for s in survivors
+                )
+                if len(views) == 1 and members_ok:
+                    break
+            table.add_row(n, world.sim.now - t0)
+        return table
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+
+def test_client_injection_roundtrip(benchmark):
+    def once():
+        world = GcsWorld(3)
+        world.settle()
+        for node in world.daemon_ids:
+            world.daemons[node].join("g")
+        world.run(1.0)
+        client, _ = world.add_client("c0")
+        request_count = 50
+        for index in range(request_count):
+            client.mcast("g", index)
+        world.run(5.0)
+        delivered = len(world.apps["s0"].payloads("g"))
+        assert delivered == request_count
+        assert client.unacked_count == 0
+        return delivered
+
+    benchmark.pedantic(once, rounds=1, iterations=1)

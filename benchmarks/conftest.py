@@ -1,0 +1,48 @@
+"""Benchmark harness glue.
+
+Each ``bench_*`` file wraps one experiment module: pytest-benchmark times
+one full experiment run (``rounds=1`` — a run is minutes of simulated
+time, repetition happens inside via Monte-Carlo seeds) and the resulting
+tables are printed so that ``pytest benchmarks/ --benchmark-only`` output
+doubles as the experiment report recorded in EXPERIMENTS.md.
+
+``REPRO_BENCH_FULL=1`` switches from the fast (CI-sized) sweeps to the
+full sweeps used for the recorded results.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def run_experiment(benchmark, module, seed: int = 0, capfd=None):
+    fast = os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+    def once():
+        return module.run(seed=seed, fast=fast)
+
+    tables = benchmark.pedantic(once, rounds=1, iterations=1)
+
+    def emit() -> None:
+        for table in tables:
+            print()
+            print(table.render())
+
+    if capfd is not None:
+        # bypass pytest's capture so the tables land in the terminal (and
+        # in the tee'd bench_output.txt) even without -s
+        with capfd.disabled():
+            emit()
+    else:
+        emit()
+    return tables
+
+
+@pytest.fixture
+def experiment_runner(capfd):
+    def runner(benchmark, module, seed: int = 0):
+        return run_experiment(benchmark, module, seed=seed, capfd=capfd)
+
+    return runner

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Puts the repository root on ``sys.path`` so the benchmark modules can
+reuse the test helpers (``tests.gcs.conftest``) regardless of whether the
+suite is launched as ``pytest`` or ``python -m pytest``.
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))

@@ -1,0 +1,67 @@
+"""Auto-scaling: the availability manager reacts to a crash storm.
+
+Implements the paper's closing vision end-to-end: the operator states a
+target probability of losing a context update; the manager watches the
+observed failure rate, re-derives the needed number of backup servers, and
+— when the cluster is too small to carry them — spawns fresh servers that
+the join-type view change absorbs, with running sessions untouched.
+
+    python examples/auto_scaling.py
+"""
+
+from repro.core import AvailabilityPolicy, ServiceCluster
+from repro.core.manager import AvailabilityManager
+from repro.faults.injector import inject
+from repro.faults.schedule import FaultSchedule
+from repro.services import VodApplication, build_movie
+
+
+def main() -> None:
+    movie = build_movie("stream", duration_seconds=600, frame_rate=10)
+    cluster = ServiceCluster.build(
+        n_servers=2,
+        units={"stream": VodApplication({"stream": movie})},
+        replication=2,
+        policy=AvailabilityPolicy(num_backups=0, propagation_period=0.5),
+        seed=77,
+    )
+    manager = AvailabilityManager(
+        cluster=cluster, target_loss=1e-6, window=30.0, auto_spawn=True
+    )
+    cluster.availability_manager = manager
+    cluster.settle()
+
+    client = cluster.add_client("viewer")
+    handle = client.start_session("stream")
+    cluster.run(3.0)
+    print(f"start: servers={sorted(cluster.servers)}, "
+          f"backups per session={cluster.policy.num_backups}")
+
+    # a crash storm: both original servers flap repeatedly
+    storm = FaultSchedule()
+    for round_index in range(3):
+        base = round_index * 6.0
+        storm.crash(base + 1.0, "s0").recover(base + 3.0, "s0")
+        storm.crash(base + 4.0, "s1").recover(base + 5.5, "s1")
+    inject(cluster, storm)
+    cluster.run(20.0)
+
+    decision = manager.evaluate()
+    print(f"observed failure rate: {decision.observed_failure_rate:.3f}/s/server")
+    print(f"manager decided: {decision.num_backups} backups, "
+          f"spawned {manager.spawned or 'nothing'}")
+    cluster.run(10.0)
+
+    live = cluster.live_servers()
+    print(f"cluster is now {sorted(live)}")
+    primaries = cluster.primaries_of(handle.session_id)
+    recent = [r for r in handle.received if r.time > cluster.sim.now - 2.0]
+    print(f"session still served by {primaries}, "
+          f"{len(recent)} frames in the last 2s, "
+          f"{len(handle.received)} total")
+    assert primaries and recent
+    assert len(live) >= decision.num_backups + 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Choosing an availability policy: from a quality target to parameters,
+and the cost of each choice.
+
+Implements the paper's closing idea: "the user might express a desired
+service quality in terms of a chance of losing a context update, and the
+system could then adjust the needed number of backups in each session
+group" — plus the other direction (the longest affordable propagation
+period for a given session-group size), and the load bill for each choice.
+
+    python examples/availability_policy.py
+"""
+
+from repro.analysis.availability import (
+    context_loss_probability,
+    per_server_load,
+    total_outage_probability,
+)
+from repro.core.manager import backups_for_target, period_for_target
+from repro.metrics.report import Table
+
+
+def main() -> None:
+    failure_rate = 1.0 / 3600  # one crash per server-hour
+    repair_rate = 1.0 / 120  # two minutes to restart
+
+    table = Table(
+        title="policy menu for one crash/server-hour, 2 min repair, "
+        "100 sessions on 8 servers",
+        columns=[
+            "target_loss",
+            "backups",
+            "period_s",
+            "achieved_loss",
+            "load msgs/s/server",
+        ],
+    )
+    for target in (1e-3, 1e-5, 1e-7, 1e-9):
+        backups = backups_for_target(
+            target, failure_rate, propagation_period=0.5
+        )
+        period = period_for_target(target, failure_rate, num_backups=backups)
+        achieved = context_loss_probability(failure_rate, period, backups + 1)
+        load = per_server_load(
+            n_sessions=100,
+            n_servers=8,
+            content_group_size=4,
+            propagation_period=period,
+            num_backups=backups,
+            update_rate=0.2,
+            response_rate=24.0,
+        )
+        table.add_row(target, backups, round(period, 3), achieved, load["total"])
+    table.add_note(
+        "each factor of ~1e2 in quality costs either one more backup or a "
+        "shorter propagation period — the paper's central tradeoff"
+    )
+    table.show()
+
+    outage = Table(
+        title="content replication vs probability of total unavailability",
+        columns=["replicas", "P(all replicas down)"],
+    )
+    for replicas in range(1, 6):
+        outage.add_row(
+            replicas,
+            total_outage_probability(failure_rate, repair_rate, replicas),
+        )
+    outage.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Distance education: an adaptive study session that survives a failover.
+
+A student works through a topic; a wrong quiz answer raises the service's
+detail level (context!), the primary then crashes, and the replacement —
+promoted from a backup that recorded every update — still remembers the
+student's struggles and keeps serving detailed explanations.
+
+    python examples/distance_learning.py
+"""
+
+from repro.core import AvailabilityPolicy, ServiceCluster
+from repro.services import EducationApplication, build_topic
+
+
+def main() -> None:
+    topic = build_topic("distributed-systems-101", n_objects=12, seed=3)
+    app = EducationApplication({"distributed-systems-101": topic})
+    cluster = ServiceCluster.build(
+        n_servers=3,
+        units={"distributed-systems-101": app},
+        replication=3,
+        policy=AvailabilityPolicy(num_backups=1, propagation_period=1.0),
+        seed=21,
+    )
+    cluster.settle()
+
+    student = cluster.add_client("carol")
+    handle = student.start_session("distributed-systems-101")
+    cluster.run(2.0)
+    print(f"session started with primary {handle.primary_seen}")
+
+    # open the first object
+    student.send_update(handle, {"op": "open", "object": 0})
+    cluster.run(1.0)
+    print(f"opened: {handle.received[-1].body}")
+
+    # fail a quiz — the service raises the detail level (session context)
+    quiz = topic.quizzes()[0]
+    wrong_answer = (quiz.answer + 1) % 4
+    student.send_update(
+        handle, {"op": "answer", "object": quiz.object_id, "answer": wrong_answer}
+    )
+    cluster.run(1.0)
+    feedback = [r for r in handle.received if r.klass == "feedback"][-1]
+    print(f"quiz feedback: {feedback.body}  (a remedial object follows)")
+
+    # the primary dies; a backup that saw the quiz answer takes over
+    victim = cluster.primaries_of(handle.session_id)[0]
+    print(f"crashing primary {victim} mid-lesson ...")
+    cluster.crash_server(victim)
+    cluster.run(4.0)
+    print(f"new primary: {cluster.primaries_of(handle.session_id)[0]}")
+
+    # the new primary still knows the detail level must be 2
+    student.send_update(handle, {"op": "open", "object": 1})
+    cluster.run(2.0)
+    opened = [r for r in handle.received if r.klass == "object"][-1]
+    print(f"after failover, opened: {opened.body}")
+    assert "extra_detail" in opened.body, (
+        "the failover lost the student's context!"
+    )
+    print("the replacement primary remembered the raised detail level — "
+          "no context was lost")
+
+
+if __name__ == "__main__":
+    main()

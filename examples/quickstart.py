@@ -1,0 +1,76 @@
+"""Quickstart: build a replicated VoD service, stream a movie, survive a
+primary crash.
+
+This is the smallest end-to-end use of the framework's public API::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import AvailabilityPolicy, ServiceCluster
+from repro.metrics.session_audit import audit_session
+from repro.services import VodApplication, build_movie
+
+
+def main() -> None:
+    # 1. Content: one movie, 60 s at 24 fps, MPEG-like GOP structure.
+    movie = build_movie("casablanca", duration_seconds=60, frame_rate=24)
+    app = VodApplication({"casablanca": movie})
+
+    # 2. A cluster of three servers, the movie replicated on all three,
+    #    one backup server per session, context propagated every 0.5 s —
+    #    the configuration of the original VoD paper, plus a backup.
+    cluster = ServiceCluster.build(
+        n_servers=3,
+        units={"casablanca": app},
+        replication=3,
+        policy=AvailabilityPolicy(num_backups=1, propagation_period=0.5),
+        seed=42,
+    )
+    cluster.settle()
+
+    # 3. A client discovers the catalog and starts a session.
+    client = cluster.add_client("alice")
+    client.connect()
+    cluster.run(1.0)
+    print(f"catalog: {client.catalog}")
+
+    handle = client.start_session("casablanca")
+    cluster.run(5.0)
+    print(
+        f"session {handle.session_id} started, primary={handle.primary_seen}, "
+        f"{len(handle.received)} frames received"
+    )
+
+    # 4. The client skips ahead — a context update to the session group.
+    client.send_update(handle, {"op": "skip", "to": 600})
+    cluster.run(2.0)
+    print(f"after skip, latest frame index: {handle.received[-1].index}")
+
+    # 5. Crash the primary mid-stream.  A backup takes over; the client
+    #    keeps receiving frames and is never told anything happened.
+    victim = cluster.primaries_of(handle.session_id)[0]
+    print(f"crashing primary {victim} ...")
+    cluster.crash_server(victim)
+    cluster.run(5.0)
+    new_primary = cluster.primaries_of(handle.session_id)[0]
+    print(f"new primary: {new_primary}; stream position "
+          f"{handle.received[-1].index}, total {len(handle.received)} frames")
+
+    # 6. Audit what the client experienced.  (The skip makes the absolute
+    #    "missing" count meaningless — frames 15..599 were never meant to
+    #    be sent — so check gap-freeness after the skip target instead.)
+    report = audit_session(handle)
+    print(
+        f"audit: {report.duplicate_count} duplicate frames "
+        f"(~{report.duplicate_count / 24:.2f}s, the propagation window), "
+        f"longest gap {report.max_gap:.2f}s"
+    )
+    streamed = sorted({r.index for r in handle.received if r.index >= 600})
+    assert streamed == list(range(600, streamed[-1] + 1)), (
+        "resend-all must not lose frames"
+    )
+    print("no frame after the skip point was lost across the failover")
+
+
+if __name__ == "__main__":
+    main()

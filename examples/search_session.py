@@ -1,0 +1,66 @@
+"""Refinement search: a query chain whose context outlives its server.
+
+The paper's third example service: "the session context is the list of
+previous result sets".  A searcher issues a query, narrows it twice, the
+primary crashes, and a later refinement still references result set 0 —
+the replacement primary holds the whole chain.
+
+    python examples/search_session.py
+"""
+
+from repro.core import AvailabilityPolicy, ServiceCluster
+from repro.services import SearchApplication, build_corpus
+
+
+def show(label: str, response) -> None:
+    body = response.body
+    print(f"  {label}: result set {body['result_set']} -> "
+          f"{len(body['doc_ids'])} documents")
+
+
+def main() -> None:
+    corpus = build_corpus("papers", n_documents=300, seed=9)
+    app = SearchApplication({"papers": corpus})
+    cluster = ServiceCluster.build(
+        n_servers=3,
+        units={"papers": app},
+        replication=3,
+        policy=AvailabilityPolicy(num_backups=1, propagation_period=0.5),
+        seed=4,
+    )
+    cluster.settle()
+
+    searcher = cluster.add_client("dave")
+    handle = searcher.start_session("papers")
+    cluster.run(2.0)
+
+    searcher.send_update(handle, {"op": "query", "terms": ["replication"]})
+    cluster.run(1.0)
+    show('query "replication"', handle.received[-1])
+
+    searcher.send_update(handle, {"op": "refine", "base": 0, "terms": ["group"]})
+    cluster.run(1.0)
+    show('refine set 0 with "group"', handle.received[-1])
+
+    searcher.send_update(handle, {"op": "after", "base": 1, "year": 1995})
+    cluster.run(1.0)
+    show("set 1, published after 1995", handle.received[-1])
+
+    victim = cluster.primaries_of(handle.session_id)[0]
+    print(f"crashing primary {victim} ...")
+    cluster.crash_server(victim)
+    cluster.run(4.0)
+
+    # the paper's example query, served by the replacement primary,
+    # referencing a result set computed before the crash
+    searcher.send_update(handle, {"op": "intersect", "a": 0, "b": 2})
+    cluster.run(2.0)
+    show("intersect sets 0 and 2 (after failover)", handle.received[-1])
+
+    sets = [r.body["doc_ids"] for r in handle.received if r.klass == "result"]
+    assert set(sets[3]) == set(sets[0]) & set(sets[2]), "context chain broken!"
+    print("the full refinement chain survived the failover")
+
+
+if __name__ == "__main__":
+    main()

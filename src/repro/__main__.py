@@ -1,0 +1,108 @@
+"""Command-line entry point.
+
+    python -m repro demo                # the quickstart scenario
+    python -m repro experiments         # full experiment report
+    python -m repro experiments --fast E3 E4
+    python -m repro policy --target 1e-4 --failure-rate 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(_args) -> int:
+    import importlib.util
+    from pathlib import Path
+
+    example = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if example.exists():
+        spec = importlib.util.spec_from_file_location("quickstart", example)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        return 0
+    # installed without the examples directory: run an inline equivalent
+    from repro.core import AvailabilityPolicy, ServiceCluster
+    from repro.services import VodApplication, build_movie
+
+    movie = build_movie("demo", duration_seconds=30, frame_rate=24)
+    cluster = ServiceCluster.build(
+        n_servers=3,
+        units={"demo": VodApplication({"demo": movie})},
+        replication=3,
+        policy=AvailabilityPolicy(num_backups=1),
+        seed=1,
+    )
+    cluster.settle()
+    client = cluster.add_client("you")
+    handle = client.start_session("demo")
+    cluster.run(5.0)
+    victim = cluster.primaries_of(handle.session_id)[0]
+    cluster.crash_server(victim)
+    cluster.run(5.0)
+    print(
+        f"streamed {len(handle.received)} frames across a failover "
+        f"({victim} -> {cluster.primaries_of(handle.session_id)[0]})"
+    )
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.runner import run_all
+
+    run_all(args.ids or None, seed=args.seed, fast=args.fast)
+    return 0
+
+
+def _cmd_policy(args) -> int:
+    from repro.analysis.availability import context_loss_probability
+    from repro.core.manager import backups_for_target, period_for_target
+
+    backups = backups_for_target(
+        args.target, args.failure_rate, args.period
+    )
+    achieved = context_loss_probability(
+        args.failure_rate, args.period, backups + 1
+    )
+    longest = period_for_target(args.target, args.failure_rate, backups)
+    print(f"target loss probability : {args.target:g}")
+    print(f"per-server failure rate : {args.failure_rate:g} /s")
+    print(f"propagation period      : {args.period:g} s")
+    print(f"=> backups needed       : {backups}")
+    print(f"=> achieved loss        : {achieved:.3g}")
+    print(f"=> longest period at b={backups}: {longest:.3g} s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the quickstart failover scenario")
+
+    experiments = sub.add_parser("experiments", help="run the experiment suite")
+    experiments.add_argument("ids", nargs="*", help="experiment ids (E1..E11)")
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument("--fast", action="store_true")
+
+    policy = sub.add_parser(
+        "policy", help="derive availability parameters from a quality target"
+    )
+    policy.add_argument("--target", type=float, required=True)
+    policy.add_argument("--failure-rate", type=float, required=True)
+    policy.add_argument("--period", type=float, default=0.5)
+
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "experiments":
+        return _cmd_experiments(args)
+    if args.command == "policy":
+        return _cmd_policy(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Analytic models of Section 4 and the Monte-Carlo machinery.
+
+:mod:`repro.analysis.availability` turns the paper's qualitative risk
+claims into closed-form probability/cost models; the experiments compare
+these predictions against simulation.  :mod:`repro.analysis.montecarlo`
+runs repeated seeded simulations and aggregates their metrics.
+:mod:`repro.analysis.risk` packages the three Section-4 "bad pattern"
+scenarios as reusable scenario builders.
+"""
+
+from repro.analysis.availability import (
+    context_loss_probability,
+    expected_duplicate_responses,
+    per_server_load,
+    total_outage_probability,
+)
+from repro.analysis.montecarlo import MonteCarlo, Replication
+
+__all__ = [
+    "MonteCarlo",
+    "Replication",
+    "context_loss_probability",
+    "expected_duplicate_responses",
+    "per_server_load",
+    "total_outage_probability",
+]

@@ -1,0 +1,168 @@
+"""Closed-form models of the Section-4 risk and cost analysis.
+
+The paper argues qualitatively; these functions make the arguments
+quantitative under the standard assumptions (independent server crashes
+with exponential inter-failure times, exponential repair, load uniformly
+spread).  The experiments validate the *shapes* of these curves against
+the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def context_loss_probability(
+    failure_rate: float,
+    propagation_period: float,
+    session_group_size: int,
+) -> float:
+    """P(a client context update is lost), per update.
+
+    Paper: "The probability of losing context updates sent by the client
+    is the chance of every session group member failing or separating from
+    the client during the period between propagations.  Thus this
+    probability decreases as either the propagation frequency or the size
+    of the session group rise."
+
+    Model: an update is covered once the next propagation lands in the
+    unit database (worst-case exposure = one full period ``T``).  With
+    per-server failure rate λ and ``s = 1 + backups`` independent session
+    group members, each fails within the window with probability
+    ``1 - exp(-λT)``, so::
+
+        P_loss = (1 - exp(-λT)) ** s
+    """
+    if session_group_size < 1:
+        raise ValueError("session_group_size must be >= 1")
+    if failure_rate < 0 or propagation_period <= 0:
+        raise ValueError("need failure_rate >= 0 and propagation_period > 0")
+    single = 1.0 - math.exp(-failure_rate * propagation_period)
+    return single**session_group_size
+
+
+def total_outage_probability(
+    failure_rate: float,
+    repair_rate: float,
+    replication: int,
+) -> float:
+    """Steady-state P(no live replica of a content unit).
+
+    Paper: "Every server which can provide this content may have either
+    crashed or disconnected ... The probability of this scenario can be
+    reduced by increasing the degree of replication."
+
+    Model: each server is independently down with probability
+    ``q = λ / (λ + μ)`` (alternating renewal process); all ``r`` replicas
+    down simultaneously with probability ``q**r``.
+    """
+    if replication < 1:
+        raise ValueError("replication must be >= 1")
+    if failure_rate < 0 or repair_rate <= 0:
+        raise ValueError("need failure_rate >= 0 and repair_rate > 0")
+    down = failure_rate / (failure_rate + repair_rate)
+    return down**replication
+
+
+def expected_duplicate_responses(
+    propagation_period: float,
+    response_rate: float,
+) -> float:
+    """Expected duplicated responses per failover under resend-all.
+
+    The crash lands uniformly inside the propagation window, so the
+    successor replays on average half a period of responses:
+    ``E[dups] = rate * T / 2`` (the paper's VoD anecdote: T = 0.5 s ⇒
+    about half a second of duplicate frames, i.e. up to ``rate·T``).
+    """
+    if propagation_period <= 0 or response_rate < 0:
+        raise ValueError("need positive period and non-negative rate")
+    return response_rate * propagation_period / 2.0
+
+
+def expected_lost_updates_per_failover(
+    update_rate: float,
+    propagation_period: float,
+    session_group_size: int,
+    failure_rate: float,
+) -> float:
+    """Expected client updates lost per total-session-group failure: the
+    updates of up to one window are exposed; they are lost only when every
+    member dies before propagating (same event as context loss)."""
+    p_all_fail = context_loss_probability(
+        failure_rate, propagation_period, session_group_size
+    )
+    return p_all_fail * update_rate * propagation_period
+
+
+def per_server_load(
+    n_sessions: int,
+    n_servers: int,
+    content_group_size: int,
+    propagation_period: float,
+    num_backups: int,
+    update_rate: float,
+    response_rate: float,
+) -> dict[str, float]:
+    """Expected per-server message-processing load (messages/second).
+
+    Paper: "Whenever client database information is propagated, each
+    server in the content group must process it; when the session groups
+    become larger, each server is a backup in more groups, and must
+    therefore receive more client requests."
+
+    Breakdown per server:
+
+    * ``propagation`` — every content-group member processes every
+      propagation of every session hosted on its unit(s):
+      ``sessions_per_unit_server * (1/T)`` where each session propagates
+      once per period and each of the unit's ``g`` replicas processes it;
+    * ``backup_updates`` — a server is backup in ``n·b/N`` session groups
+      on average and receives ``update_rate`` messages in each;
+    * ``primary_updates`` — primaries receive the same updates;
+    * ``responses`` — primaries send ``response_rate`` per session.
+    """
+    if n_servers <= 0:
+        raise ValueError("n_servers must be positive")
+    sessions_per_server = n_sessions / n_servers
+    # every session's propagation is processed by each content replica;
+    # a server hosts (on average) sessions of its units: with uniform
+    # placement each server processes n_sessions * g / N propagations/T.
+    propagation = (
+        n_sessions * content_group_size / n_servers / propagation_period
+    )
+    backup_updates = sessions_per_server * num_backups * update_rate
+    primary_updates = sessions_per_server * update_rate
+    responses = sessions_per_server * response_rate
+    return {
+        "propagation": propagation,
+        "backup_updates": backup_updates,
+        "primary_updates": primary_updates,
+        "responses": responses,
+        "total": propagation + backup_updates + primary_updates + responses,
+    }
+
+
+def takeover_gap_estimate(
+    suspect_timeout: float,
+    flush_rounds: int = 3,
+    round_trip: float = 0.001,
+    state_exchange: bool = False,
+) -> float:
+    """Rough client-visible service gap after a primary crash: failure
+    detection plus the view-change rounds, plus one extra ordered round
+    when a state exchange precedes reallocation (join-type changes)."""
+    gap = suspect_timeout + flush_rounds * round_trip
+    if state_exchange:
+        gap += 2 * round_trip
+    return gap
+
+
+__all__ = [
+    "context_loss_probability",
+    "expected_duplicate_responses",
+    "expected_lost_updates_per_failover",
+    "per_server_load",
+    "takeover_gap_estimate",
+    "total_outage_probability",
+]

@@ -1,0 +1,83 @@
+"""Monte-Carlo experiment machinery.
+
+An experiment function maps ``(seed,) -> dict[str, float]``; the runner
+executes it over many seeds (each seed builds an independent simulated
+world) and aggregates every metric with mean / standard deviation /
+extremes.  All experiments in :mod:`repro.experiments` are built on this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Replication:
+    seed: int
+    metrics: dict[str, float]
+
+
+@dataclass
+class Aggregate:
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ±{self.std:.2g}"
+
+
+@dataclass
+class MonteCarlo:
+    """Runs ``fn(seed)`` for ``n_reps`` seeds derived from ``base_seed``."""
+
+    fn: Callable[[int], dict[str, float]]
+    n_reps: int = 5
+    base_seed: int = 0
+    replications: list[Replication] = field(default_factory=list)
+
+    def run(self) -> "MonteCarlo":
+        self.replications = []
+        for rep in range(self.n_reps):
+            seed = self.base_seed * 10_007 + rep
+            metrics = self.fn(seed)
+            self.replications.append(Replication(seed=seed, metrics=metrics))
+        return self
+
+    def metric_names(self) -> list[str]:
+        names: set[str] = set()
+        for replication in self.replications:
+            names.update(replication.metrics)
+        return sorted(names)
+
+    def values(self, metric: str) -> list[float]:
+        return [
+            r.metrics[metric] for r in self.replications if metric in r.metrics
+        ]
+
+    def aggregate(self, metric: str) -> Aggregate:
+        values = self.values(metric)
+        if not values:
+            return Aggregate(math.nan, math.nan, math.nan, math.nan, 0)
+        mean = sum(values) / len(values)
+        if len(values) > 1:
+            variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        else:
+            variance = 0.0
+        return Aggregate(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+            n=len(values),
+        )
+
+    def summary(self) -> dict[str, Aggregate]:
+        return {name: self.aggregate(name) for name in self.metric_names()}
+
+
+__all__ = ["Aggregate", "MonteCarlo", "Replication"]

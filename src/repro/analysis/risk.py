@@ -1,0 +1,123 @@
+"""The Section-4 "bad pattern" scenarios as reusable builders.
+
+Section 4 enumerates exactly three scenario families that can leave a
+client without a unique live primary:
+
+1. membership views diverging *while the transmission system is unstable*
+   (transient, during view changes);
+2. every server holding the content crashed or disconnected;
+3. a non-transitive network (WAN) where servers cannot reach each other
+   yet both reach the client.
+
+Each builder returns a configured cluster plus a streaming session handle,
+with the scenario's faults scheduled; experiment E3 measures the outcome.
+"""
+
+from __future__ import annotations
+
+from repro.core import AvailabilityPolicy, ServiceCluster
+from repro.faults.injector import inject
+from repro.faults.schedule import FaultSchedule
+from repro.services.content import build_movie
+from repro.services.vod import VodApplication
+
+
+def _base_cluster(n_servers: int, seed: int, frame_rate: float = 10.0):
+    movie = build_movie("m0", duration_seconds=600, frame_rate=frame_rate)
+    app = VodApplication({"m0": movie})
+    cluster = ServiceCluster.build(
+        n_servers=n_servers,
+        units={"m0": app},
+        replication=n_servers,
+        policy=AvailabilityPolicy(num_backups=1, propagation_period=0.5),
+        seed=seed,
+    )
+    cluster.settle()
+    client = cluster.add_client("c0")
+    handle = client.start_session("m0")
+    cluster.run(3.0)
+    return cluster, client, handle
+
+
+def scenario_stable(seed: int = 0):
+    """Control: no faults at all."""
+    return _base_cluster(3, seed)
+
+
+def scenario_failover_churn(seed: int = 0, crashes: int = 2, gap: float = 6.0):
+    """Repeated primary crashes with recoveries — view changes happen but
+    connectivity is always transitive, so the unique-primary goal should
+    hold up to sub-second transition windows."""
+    cluster, client, handle = _base_cluster(4, seed)
+    schedule = FaultSchedule()
+    hosts = cluster.hosts_of("m0")
+    for index in range(crashes):
+        victim = hosts[index % len(hosts)]
+        schedule.crash(index * gap + 1.0, victim)
+        schedule.recover(index * gap + 1.0 + gap / 2, victim)
+    inject(cluster, schedule)
+    return cluster, client, handle
+
+
+def scenario_total_content_loss(seed: int = 0, at: float = 2.0):
+    """Every replica of the content crashes: availability is impossible
+    (Section 4's second bullet) until someone recovers."""
+    cluster, client, handle = _base_cluster(3, seed)
+    schedule = FaultSchedule()
+    for server in cluster.hosts_of("m0"):
+        schedule.crash(at, server)
+    inject(cluster, schedule)
+    return cluster, client, handle
+
+
+def scenario_lan_partition(seed: int = 0, at: float = 2.0, duration: float = 8.0):
+    """A clean (transitive) partition: the client lands in one component;
+    only that component's servers can reach it, so the client should never
+    hear two primaries at once."""
+    cluster, client, handle = _base_cluster(4, seed)
+    cluster.run(0.5)
+    primary = cluster.primaries_of(handle.session_id)
+    isolated = primary[0] if primary else "s0"
+    others = [s for s in cluster.servers if s != isolated]
+    schedule = (
+        FaultSchedule()
+        .partition(at, {isolated}, set(others) | {client.client_id})
+        .heal(at + duration)
+    )
+    inject(cluster, schedule)
+    return cluster, client, handle
+
+
+def scenario_wan_non_transitive(
+    seed: int = 0, at: float = 2.0, duration: float = 8.0
+):
+    """The WAN pattern: the two content servers lose the link between
+    themselves but both still reach the client — the one scenario where
+    the client can legitimately hear two primaries."""
+    cluster, client, handle = _base_cluster(2, seed)
+    schedule = (
+        FaultSchedule()
+        .cut_link(at, "s0", "s1")
+        .restore_link(at + duration, "s0", "s1")
+    )
+    inject(cluster, schedule)
+    return cluster, client, handle
+
+
+SCENARIOS = {
+    "stable": scenario_stable,
+    "failover-churn": scenario_failover_churn,
+    "total-content-loss": scenario_total_content_loss,
+    "lan-partition": scenario_lan_partition,
+    "wan-non-transitive": scenario_wan_non_transitive,
+}
+
+
+__all__ = [
+    "SCENARIOS",
+    "scenario_failover_churn",
+    "scenario_lan_partition",
+    "scenario_stable",
+    "scenario_total_content_loss",
+    "scenario_wan_non_transitive",
+]

@@ -1,0 +1,14 @@
+"""Comparison baselines.
+
+The paper positions its framework against (a) an unreplicated server and
+(b) the original VoD design of [2], whose session groups contain only the
+primary; (c) a full-synchronization variant bounds the cost axis.  All
+three are *configurations of the same framework code*, so comparisons
+measure the policies, not implementation differences.
+"""
+
+from repro.baselines.full_sync import full_sync_policy
+from repro.baselines.no_backup import no_backup_policy
+from repro.baselines.single_server import single_server_cluster
+
+__all__ = ["full_sync_policy", "no_backup_policy", "single_server_cluster"]

@@ -1,0 +1,31 @@
+"""Baseline: (near-)full synchronization — propagate at response rate.
+
+The cost ceiling of the tradeoff axis: propagating context as often as
+responses are produced makes the unit database almost exactly current
+(failovers lose/duplicate at most one response) but charges every content
+replica a processing load proportional to the response rate — the load the
+paper's VoD design explicitly avoids ("since the video stream has a high
+bandwidth, this would result in significant load").
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AvailabilityPolicy
+from repro.core.responses import ResendAll
+
+
+def full_sync_policy(
+    response_rate: float,
+    num_backups: int = 1,
+) -> AvailabilityPolicy:
+    """Propagation period matched to one response interval."""
+    if response_rate <= 0:
+        raise ValueError("response_rate must be positive")
+    return AvailabilityPolicy(
+        num_backups=num_backups,
+        propagation_period=1.0 / response_rate,
+        uncertainty_policy=ResendAll(),
+    )
+
+
+__all__ = ["full_sync_policy"]

@@ -1,0 +1,28 @@
+"""Baseline: the original VoD design of [2] — no backup servers.
+
+"This group layout generalizes the approach of [2], where similar groups
+are created, but with session groups consisting of a single server — that
+is, there are no backup servers."  Content is still replicated and the
+unit database still receives periodic propagations; what is missing is the
+intermediate freshness level, so client context updates sent after the
+last propagation die with the primary.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AvailabilityPolicy
+from repro.core.responses import UncertaintyPolicy
+
+
+def no_backup_policy(
+    propagation_period: float = 0.5,
+    uncertainty_policy: UncertaintyPolicy | None = None,
+) -> AvailabilityPolicy:
+    """The [2] configuration: session group = {primary}."""
+    kwargs = {"num_backups": 0, "propagation_period": propagation_period}
+    if uncertainty_policy is not None:
+        kwargs["uncertainty_policy"] = uncertainty_policy
+    return AvailabilityPolicy(**kwargs)
+
+
+__all__ = ["no_backup_policy"]

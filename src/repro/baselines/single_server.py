@@ -1,0 +1,35 @@
+"""Baseline: one server, no replication.
+
+The availability floor: any crash is a total outage for its sessions, and
+no context survives.  Everything else (GCS, framework code) is identical,
+so measured differences are attributable to replication alone.
+"""
+
+from __future__ import annotations
+
+from repro.core.application import ServiceApplication
+from repro.core.config import AvailabilityPolicy
+from repro.core.service import ServiceCluster
+
+
+def single_server_cluster(
+    units: dict[str, ServiceApplication],
+    propagation_period: float = 0.5,
+    seed: int = 0,
+    **build_kwargs,
+) -> ServiceCluster:
+    """A one-server deployment (replication 1, no backups)."""
+    policy = AvailabilityPolicy(
+        num_backups=0, propagation_period=propagation_period
+    )
+    return ServiceCluster.build(
+        n_servers=1,
+        units=units,
+        replication=1,
+        policy=policy,
+        seed=seed,
+        **build_kwargs,
+    )
+
+
+__all__ = ["single_server_cluster"]

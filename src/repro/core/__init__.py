@@ -1,0 +1,53 @@
+"""The paper's contribution: a configurable framework for highly available,
+session-oriented services on group communication.
+
+The framework (Section 3 of the paper) is realized by:
+
+* :class:`~repro.core.config.AvailabilityPolicy` — the configurable
+  parameters: content replication degree, number of backup servers per
+  session, context propagation period, and the uncertainty policy applied
+  on failover;
+* :class:`~repro.core.server.FrameworkServer` — the server-side logic:
+  service / content / session groups, the replicated unit database,
+  deterministic primary/backup selection, periodic context propagation,
+  immediate (failure-only) reallocation and join-triggered state exchange;
+* :class:`~repro.core.client.ServiceClient` — the thin client library:
+  connect, choose a content unit, start a session, stream context updates
+  to the session group, receive responses — never aware of membership;
+* :class:`~repro.core.application.ServiceApplication` — the plug-in
+  protocol a concrete service (VoD, education, search) implements;
+* :class:`~repro.core.service.ServiceCluster` — a builder wiring servers,
+  content placement, clients, and the GCS over the simulated network;
+* extensions named as future work in the paper:
+  :mod:`repro.core.statemachine` (replicated state machine for shared
+  content updates) and :mod:`repro.core.manager` (availability manager
+  deriving parameters from a target quality).
+"""
+
+from repro.core.application import ResponseBody, ServiceApplication
+from repro.core.config import AvailabilityPolicy
+from repro.core.client import ServiceClient, SessionHandle
+from repro.core.context import ContextSnapshot
+from repro.core.responses import (
+    ResendAll,
+    SelectiveResend,
+    SkipUncertain,
+    UncertaintyPolicy,
+)
+from repro.core.server import FrameworkServer
+from repro.core.service import ServiceCluster
+
+__all__ = [
+    "AvailabilityPolicy",
+    "ContextSnapshot",
+    "FrameworkServer",
+    "ResendAll",
+    "ResponseBody",
+    "SelectiveResend",
+    "ServiceApplication",
+    "ServiceClient",
+    "ServiceCluster",
+    "SessionHandle",
+    "SkipUncertain",
+    "UncertaintyPolicy",
+]

@@ -1,0 +1,133 @@
+"""Session context with the paper's three freshness levels.
+
+* The **primary** holds the live application state, exact update counter
+  and exact response counter.
+* A **backup** holds the last propagated snapshot *plus* every client
+  context update it has seen since (client updates go to the session
+  group, so backups never miss them while alive) — but not the responses,
+  which are point-to-point.
+* The **unit database** holds only the last propagated snapshot.
+
+The invariant the paper states — "client context updates [known to the
+session group] are at least as current as information in the unit
+database" — is checkable: a backup's effective update counter is always
+``>=`` the snapshot's.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ContextSnapshot:
+    """An immutable picture of one session's context at a moment.
+
+    Attributes:
+        app_state: the application-defined session state (deep-copied on
+            capture so later mutations never leak into the snapshot).
+        update_counter: highest client context-update counter reflected.
+        response_counter: number of responses the primary had sent.
+        stamped_at: simulation time of capture (lets a takeover primary
+            bound the uncertainty window).
+        epoch: the primary's propagation sequence number for the session;
+            state-exchange merges keep the record with the largest epoch.
+    """
+
+    app_state: Any
+    update_counter: int = 0
+    response_counter: int = 0
+    stamped_at: float = 0.0
+    epoch: int = 0
+
+    def freshness_key(self) -> tuple:
+        """Orders snapshots of one session by how current they are.
+
+        Client-update progress dominates: update counters are assigned by
+        the client, so they are comparable across *any* two snapshots of a
+        session — including snapshots produced by concurrent primaries
+        during a transient dual-primary episode.  The propagation epoch is
+        only a tiebreak (it is a per-primary-lineage counter, so an
+        epoch-richer but update-poorer snapshot must never win)."""
+        return (self.update_counter, self.response_counter, self.epoch)
+
+
+@dataclass
+class PrimaryContext:
+    """The live context held by the session's primary server."""
+
+    app_state: Any
+    update_counter: int = 0
+    response_counter: int = 0
+    epoch: int = 0
+
+    def snapshot(self, now: float) -> ContextSnapshot:
+        """Capture a propagation snapshot (epoch advances)."""
+        self.epoch += 1
+        return ContextSnapshot(
+            app_state=copy.deepcopy(self.app_state),
+            update_counter=self.update_counter,
+            response_counter=self.response_counter,
+            stamped_at=now,
+            epoch=self.epoch,
+        )
+
+    @staticmethod
+    def from_snapshot(snapshot: ContextSnapshot) -> "PrimaryContext":
+        return PrimaryContext(
+            app_state=copy.deepcopy(snapshot.app_state),
+            update_counter=snapshot.update_counter,
+            response_counter=snapshot.response_counter,
+            epoch=snapshot.epoch,
+        )
+
+
+@dataclass
+class BackupContext:
+    """A backup's context: base snapshot plus the update log since.
+
+    ``apply_update`` appends; ``rebase`` adopts a newer propagation and
+    prunes the log; ``effective`` reconstructs the freshest state the
+    backup can offer on takeover.
+    """
+
+    base: ContextSnapshot
+    update_log: list[tuple[int, Any]] = field(default_factory=list)
+
+    def apply_update(self, counter: int, update: Any) -> None:
+        if counter > self.base.update_counter:
+            self.update_log.append((counter, update))
+
+    def rebase(self, snapshot: ContextSnapshot) -> None:
+        """Adopt a newer propagated snapshot, keeping updates it missed."""
+        if snapshot.freshness_key() <= self.base.freshness_key():
+            return
+        self.base = snapshot
+        self.update_log = [
+            (counter, update)
+            for counter, update in self.update_log
+            if counter > snapshot.update_counter
+        ]
+
+    def effective(self, apply_update_fn) -> ContextSnapshot:
+        """The snapshot a takeover would start from: base plus logged
+        updates, replayed through the application's update function."""
+        state = copy.deepcopy(self.base.app_state)
+        counter = self.base.update_counter
+        for update_counter, update in sorted(self.update_log):
+            state = apply_update_fn(state, update)
+            counter = max(counter, update_counter)
+        return replace(
+            self.base, app_state=state, update_counter=counter
+        )
+
+    @property
+    def effective_update_counter(self) -> int:
+        if not self.update_log:
+            return self.base.update_counter
+        return max(self.base.update_counter, max(c for c, _ in self.update_log))
+
+
+__all__ = ["BackupContext", "ContextSnapshot", "PrimaryContext"]

@@ -1,0 +1,161 @@
+"""Availability manager: from a target quality to parameter settings.
+
+The paper's future work: "the user might express a desired service quality
+in terms of a chance of losing a context update, and the system could then
+adjust the needed number of backups in each session group" (using
+techniques like [Mishra & Pang 1999] to invoke new servers when needed).
+
+:func:`backups_for_target` inverts the Section-4 analytic loss model to
+pick the smallest session group achieving a target loss probability;
+:class:`AvailabilityManager` applies it to a live cluster — monitoring the
+observed failure rate, re-deriving the backup count, and (optionally)
+spawning spare servers when the content group is too small to carry the
+required session group size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.availability import context_loss_probability
+
+
+def backups_for_target(
+    target_loss: float,
+    failure_rate: float,
+    propagation_period: float,
+    max_backups: int = 8,
+) -> int:
+    """Smallest number of backups whose predicted per-window context-update
+    loss probability is below ``target_loss``.
+
+    Returns ``max_backups`` when even that many cannot achieve the target
+    (the caller should then also shorten the propagation period).
+    """
+    if not 0.0 < target_loss < 1.0:
+        raise ValueError("target_loss must be in (0, 1)")
+    for backups in range(0, max_backups + 1):
+        predicted = context_loss_probability(
+            failure_rate=failure_rate,
+            propagation_period=propagation_period,
+            session_group_size=backups + 1,
+        )
+        if predicted <= target_loss:
+            return backups
+    return max_backups
+
+
+def period_for_target(
+    target_loss: float,
+    failure_rate: float,
+    num_backups: int,
+    min_period: float = 0.05,
+    max_period: float = 10.0,
+) -> float:
+    """Longest propagation period (cheapest) still meeting the target for
+    a fixed session group size — binary search on the analytic model."""
+    if not 0.0 < target_loss < 1.0:
+        raise ValueError("target_loss must be in (0, 1)")
+    size = num_backups + 1
+    lo, hi = min_period, max_period
+    if context_loss_probability(failure_rate, hi, size) <= target_loss:
+        return hi
+    if context_loss_probability(failure_rate, lo, size) > target_loss:
+        return lo
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if context_loss_probability(failure_rate, mid, size) <= target_loss:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+@dataclass
+class ManagerDecision:
+    """What the manager decided at one evaluation point."""
+
+    time: float
+    observed_failure_rate: float
+    num_backups: int
+    spawn_needed: int
+
+
+@dataclass
+class AvailabilityManager:
+    """Monitors a cluster and keeps its policy at a target quality.
+
+    The manager samples the observed crash rate over a sliding window,
+    derives the needed backup count from the analytic model, updates the
+    live policy object (new sessions pick it up; a full reallocation also
+    applies it to existing ones), and reports how many extra servers would
+    be needed for the content groups to sustain the session group size —
+    the hook where [5]-style automatic server invocation plugs in.
+    """
+
+    cluster: "object"  # ServiceCluster (duck-typed to avoid an import cycle)
+    target_loss: float
+    window: float = 60.0
+    max_backups: int = 4
+    auto_spawn: bool = False
+    crash_times: list[float] = field(default_factory=list)
+    decisions: list[ManagerDecision] = field(default_factory=list)
+    spawned: list[str] = field(default_factory=list)
+
+    def record_crash(self, time: float) -> None:
+        self.crash_times.append(time)
+
+    def observed_failure_rate(self, now: float) -> float:
+        """Per-server crash rate (crashes/second/server) in the window."""
+        recent = [t for t in self.crash_times if now - t <= self.window]
+        n_servers = max(1, len(self.cluster.servers))
+        horizon = min(self.window, now) or 1.0
+        return len(recent) / (n_servers * horizon)
+
+    def evaluate(self) -> ManagerDecision:
+        """Re-derive parameters from observations and apply them."""
+        now = self.cluster.sim.now
+        rate = self.observed_failure_rate(now)
+        policy = self.cluster.policy
+        backups = backups_for_target(
+            target_loss=self.target_loss,
+            failure_rate=max(rate, 1e-9),
+            propagation_period=policy.propagation_period,
+            max_backups=self.max_backups,
+        )
+        policy.num_backups = backups
+        live = sum(1 for s in self.cluster.servers.values() if s.is_up())
+        spawn_needed = max(0, (backups + 1) - live)
+        decision = ManagerDecision(
+            time=now,
+            observed_failure_rate=rate,
+            num_backups=backups,
+            spawn_needed=spawn_needed,
+        )
+        self.decisions.append(decision)
+        if spawn_needed > 0 and self.auto_spawn:
+            # the [Mishra & Pang 1999] hook realized: bring up fresh
+            # servers; the join-type view change absorbs them
+            for _ in range(spawn_needed):
+                server_id = f"spawned-{len(self.spawned)}"
+                self.cluster.spawn_server(server_id)
+                self.spawned.append(server_id)
+        return decision
+
+    def start(self, period: float = 10.0) -> None:
+        """Evaluate periodically on the cluster's simulator."""
+
+        def tick() -> None:
+            self.evaluate()
+            self.cluster.sim.schedule(period, tick)
+
+        self.cluster.sim.schedule(period, tick)
+
+
+__all__ = [
+    "AvailabilityManager",
+    "ManagerDecision",
+    "backups_for_target",
+    "period_for_target",
+]

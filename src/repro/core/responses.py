@@ -1,0 +1,100 @@
+"""Uncertainty policies for failure takeover (Section 4).
+
+When a primary crashes, responses it sent between its last propagation and
+the crash are unknown to the successor.  The paper: "it can either
+transmit the response (risking the client seeing a duplicate ...) or it
+can not transmit (risking that the client never sees the response).  The
+choice is application specific."  Three policies realize the choice:
+
+* :class:`ResendAll` — resume from the snapshot position; the whole
+  uncertainty window is retransmitted (no loss, maximal duplicates).
+* :class:`SkipUncertain` — skip past the estimated uncertainty window
+  (no duplicates, maximal loss).
+* :class:`SelectiveResend` — walk the uncertain responses and retransmit
+  only those whose class passes a predicate (e.g. MPEG I-frames), skipping
+  the rest — the paper's MPEG recommendation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+from repro.core.application import ResponseBody, ServiceApplication
+
+
+class UncertaintyPolicy(Protocol):
+    """Resolves the uncertainty window when taking over from a snapshot.
+
+    Returns ``(state, resend)``: the state to resume streaming from and
+    the uncertain responses to retransmit immediately (marked as such).
+    """
+
+    def resolve(
+        self,
+        app: ServiceApplication,
+        state: Any,
+        estimated_uncertain: int,
+    ) -> tuple[Any, list[ResponseBody]]:
+        ...
+
+
+class ResendAll:
+    """Favor completeness: resume exactly at the snapshot position.
+
+    Nothing is skipped and nothing is pre-sent; the normal streaming loop
+    regenerates the window, so the client may see up to one propagation
+    period of duplicates (the VoD behaviour described in Section 3.1)."""
+
+    def resolve(self, app, state, estimated_uncertain):
+        return state, []
+
+    def __repr__(self) -> str:
+        return "ResendAll()"
+
+
+class SkipUncertain:
+    """Favor no-duplicates: jump past the estimated uncertainty window."""
+
+    def resolve(self, app, state, estimated_uncertain):
+        if estimated_uncertain > 0:
+            state = app.advance(state, estimated_uncertain)
+        return state, []
+
+    def __repr__(self) -> str:
+        return "SkipUncertain()"
+
+
+class SelectiveResend:
+    """Per-class choice: regenerate the uncertain responses, transmit only
+    the classes the predicate keeps (e.g. ``klass == "I"``), and resume
+    streaming after the window."""
+
+    def __init__(self, keep: Callable[[ResponseBody], bool]) -> None:
+        self.keep = keep
+
+    def resolve(self, app, state, estimated_uncertain):
+        resend: list[ResponseBody] = []
+        for _ in range(estimated_uncertain):
+            state, produced = app.next_responses(state)
+            if not produced:
+                break
+            resend.extend(r for r in produced if self.keep(r))
+        return state, resend
+
+    def __repr__(self) -> str:
+        return "SelectiveResend(...)"
+
+
+def mpeg_policy() -> SelectiveResend:
+    """The paper's MPEG recommendation: duplicate I-frames rather than
+    lose them; accept losing incremental P/B frames."""
+    return SelectiveResend(keep=lambda response: response.klass == "I")
+
+
+__all__ = [
+    "ResendAll",
+    "SelectiveResend",
+    "SkipUncertain",
+    "UncertaintyPolicy",
+    "mpeg_policy",
+]

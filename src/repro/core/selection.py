@@ -1,0 +1,199 @@
+"""Deterministic primary/backup selection (Section 3.4).
+
+All content-group members evaluate these functions over identical unit
+databases and identical views, so they reach the same allocation without
+exchanging messages.  The paper's preferences are encoded directly:
+
+* "the new primary assigned will be the former primary if possible, or one
+  of the former backups, if the former primary has failed but some former
+  backup remains in the group";
+* otherwise pick "lightly-loaded" servers, and on joins "re-distribute the
+  clients ... in such a way as to balance the load fairly".
+"""
+
+from __future__ import annotations
+
+from repro.core.unit_db import UnitDatabase
+from repro.sim.topology import NodeId
+
+
+def _sorted_members(members) -> list[NodeId]:
+    return sorted(members, key=str)
+
+
+def _least_loaded(
+    loads: dict[NodeId, float], exclude: set[NodeId]
+) -> NodeId | None:
+    candidates = [n for n in loads if n not in exclude]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda n: (loads[n], str(n)))
+
+
+def select_for_session(
+    record,
+    members,
+    num_backups: int,
+    loads: dict[NodeId, float],
+    prefer_backups: bool = True,
+) -> tuple[NodeId | None, tuple[NodeId, ...]]:
+    """Choose (primary, backups) for one session within ``members``.
+
+    ``loads`` is mutated: the chosen servers are charged so successive
+    calls spread sessions evenly.  Returns ``(None, ())`` when no member
+    can serve.
+    """
+    alive = set(_sorted_members(members))
+    if not alive:
+        return None, ()
+
+    primary: NodeId | None = None
+    if record.primary in alive:
+        primary = record.primary
+    elif prefer_backups:
+        for backup in record.backups:
+            if backup in alive:
+                primary = backup
+                break
+    if primary is None:
+        primary = _least_loaded(loads, exclude=set())
+    if primary is None:
+        return None, ()
+
+    backups: list[NodeId] = []
+    taken = {primary}
+    # Prefer surviving former backups, in their existing order.
+    for backup in record.backups:
+        if len(backups) >= num_backups:
+            break
+        if backup in alive and backup not in taken:
+            backups.append(backup)
+            taken.add(backup)
+    # Fill the remainder from the least-loaded members.
+    while len(backups) < num_backups:
+        candidate = _least_loaded(loads, exclude=taken)
+        if candidate is None:
+            break
+        backups.append(candidate)
+        taken.add(candidate)
+
+    loads[primary] = loads.get(primary, 0.0) + 1.0
+    for backup in backups:
+        loads[backup] = loads.get(backup, 0.0) + 0.25
+    return primary, tuple(backups)
+
+
+def allocate_sessions(
+    db: UnitDatabase,
+    members,
+    num_backups: int,
+    rebalance: bool = False,
+    prefer_backups: bool = True,
+) -> dict[str, tuple[NodeId | None, tuple[NodeId, ...]]]:
+    """Compute the allocation of every session in ``db`` to ``members``.
+
+    With ``rebalance=False`` (failure-type view changes) existing roles are
+    preserved wherever the holder survives.  With ``rebalance=True``
+    (join-type changes) the allocation is recomputed from scratch for even
+    load, still preferring current holders as tie-breakers so migrations
+    are not gratuitous.
+    """
+    members = _sorted_members(members)
+    loads: dict[NodeId, float] = {member: 0.0 for member in members}
+    allocation: dict[str, tuple[NodeId | None, tuple[NodeId, ...]]] = {}
+    if not members:
+        return {sid: (None, ()) for sid in db.session_ids()}
+
+    if not rebalance:
+        # Preserve surviving roles; pre-charge loads with them first so
+        # fill-ins go to genuinely light servers.
+        for record in db.records():
+            if record.primary in loads:
+                loads[record.primary] += 1.0
+            for backup in record.backups:
+                if backup in loads:
+                    loads[backup] += 0.25
+        for record in db.records():
+            scratch = dict(loads)
+            primary, backups = select_for_session(
+                record, members, num_backups, scratch,
+                prefer_backups=prefer_backups,
+            )
+            # charge only the *new* roles
+            if primary is not None and primary != record.primary:
+                loads[primary] = loads.get(primary, 0.0) + 1.0
+            for backup in backups:
+                if backup not in record.backups:
+                    loads[backup] = loads.get(backup, 0.0) + 0.25
+            allocation[record.session_id] = (primary, backups)
+        return allocation
+
+    # Full rebalance: cap every server at ceil(sessions / servers)
+    # primaries.  Pass 1 keeps surviving primaries up to the cap (so
+    # migrations are not gratuitous); pass 2 assigns the rest to the
+    # least-loaded member.  The result is even to within one session.
+    records = db.records()
+    target = -(-len(records) // len(members))  # ceil division
+    primary_count: dict[NodeId, int] = {member: 0 for member in members}
+    backup_load: dict[NodeId, float] = {member: 0.0 for member in members}
+    kept: dict[str, NodeId] = {}
+    for record in records:
+        if (
+            record.primary in primary_count
+            and primary_count[record.primary] < target
+        ):
+            kept[record.session_id] = record.primary
+            primary_count[record.primary] += 1
+    for record in records:
+        session_id = record.session_id
+        primary = kept.get(session_id)
+        if primary is None:
+            # The paper's preference order even when rebalancing: a
+            # surviving former backup (it holds every client update the
+            # session group saw) before any merely lightly-loaded server.
+            if prefer_backups:
+                for backup in record.backups:
+                    if backup in primary_count and primary_count[backup] < target:
+                        primary = backup
+                        break
+            if primary is None:
+                primary = min(
+                    members, key=lambda m: (primary_count[m], str(m))
+                )
+            primary_count[primary] += 1
+        backups: list[NodeId] = []
+        taken = {primary}
+        for backup in record.backups:
+            if len(backups) >= num_backups:
+                break
+            if backup in primary_count and backup not in taken:
+                backups.append(backup)
+                taken.add(backup)
+        while len(backups) < num_backups:
+            candidates = [m for m in members if m not in taken]
+            if not candidates:
+                break
+            chosen = min(
+                candidates,
+                key=lambda m: (primary_count[m] + backup_load[m], str(m)),
+            )
+            backups.append(chosen)
+            taken.add(chosen)
+        for backup in backups:
+            backup_load[backup] += 0.25
+        allocation[session_id] = (primary, tuple(backups))
+    return allocation
+
+
+def jain_fairness(values: list[float]) -> float:
+    """Jain's fairness index of a load vector (1.0 = perfectly even)."""
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+__all__ = ["allocate_sessions", "jain_fairness", "select_for_session"]

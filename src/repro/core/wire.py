@@ -1,0 +1,198 @@
+"""Framework-level message payloads.
+
+These ride inside GCS multicasts (ordered) or point-to-point sends
+(responses, handoffs), mirroring Section 3.3/3.4 of the paper:
+
+* clients address the **service group** to discover content units,
+* a **content group** to start a session,
+* the **session group** for everything else;
+* only the primary answers, point-to-point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.context import ContextSnapshot
+from repro.sim.topology import NodeId
+
+
+def service_group() -> str:
+    """The service group's well-known name (clients know it a priori)."""
+    return "svc"
+
+
+def content_group(unit_id: str) -> str:
+    return f"content:{unit_id}"
+
+
+def session_group(session_id: str) -> str:
+    """Session group names are computed deterministically from the session
+    id, as in the paper ('the group name is computed deterministically by
+    each of the servers')."""
+    return f"session:{session_id}"
+
+
+# ---------------------------------------------------------------------------
+# client -> service group
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ListUnitsRequest:
+    client_id: NodeId
+
+
+@dataclass(frozen=True)
+class UnitList:
+    """Reply: available units and the content group name for each."""
+
+    units: tuple[tuple[str, str], ...]  # (unit_id, content group name)
+
+
+# ---------------------------------------------------------------------------
+# client -> content group
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StartSession:
+    client_id: NodeId
+    session_id: str
+    unit_id: str
+    params: Any = None
+
+
+@dataclass(frozen=True)
+class SessionStarted:
+    """Primary -> client: your session group is ready."""
+
+    session_id: str
+    session_group: str
+    primary: NodeId
+
+
+@dataclass(frozen=True)
+class SessionDenied:
+    session_id: str
+    reason: str
+
+
+# ---------------------------------------------------------------------------
+# client -> session group
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ContextUpdate:
+    session_id: str
+    counter: int
+    update: Any
+
+
+@dataclass(frozen=True)
+class EndSession:
+    session_id: str
+
+
+# ---------------------------------------------------------------------------
+# server -> server (through groups)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Propagate:
+    """Primary -> content group: periodic context snapshot."""
+
+    session_id: str
+    unit_id: str
+    snapshot: ContextSnapshot
+
+
+@dataclass(frozen=True)
+class SessionEnded:
+    """Primary -> content group: drop the session from the unit database."""
+
+    session_id: str
+    unit_id: str
+
+
+@dataclass(frozen=True)
+class RebalanceRequest:
+    """Anyone -> content group: re-run the deterministic rebalance now.
+
+    The paper's preemptive migration ("the primary server of an on-going
+    session may have to change ... preemptively for load balancing
+    purposes"): because the request is totally ordered and the unit
+    databases are identical, every member computes the same new
+    allocation with no further communication; displaced primaries hand
+    their exact contexts to their successors."""
+
+    unit_id: str
+
+
+@dataclass(frozen=True)
+class StateExchange:
+    """Member -> content group after a join-type view change: my unit
+    database, so the merged state can be rebuilt deterministically."""
+
+    unit_id: str
+    view_key: tuple
+    sender: NodeId
+    db_snapshot: dict
+
+
+# ---------------------------------------------------------------------------
+# server -> server / client (point-to-point)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Handoff:
+    """Old primary -> new primary during a controlled migration: the exact
+    up-to-date context (no uncertainty window)."""
+
+    session_id: str
+    unit_id: str
+    snapshot: ContextSnapshot
+
+
+@dataclass(frozen=True)
+class ResponseMsg:
+    """Primary -> client: one response.
+
+    ``index`` is the application-level position (e.g. frame number), used
+    by the client audit to detect duplicates and gaps; ``based_on_update``
+    is the context update counter the response was generated under, used
+    to detect responses based on stale context; ``uncertain`` marks
+    retransmissions from a failover's uncertainty window.
+    """
+
+    session_id: str
+    index: int
+    klass: str
+    body: Any
+    based_on_update: int
+    uncertain: bool = False
+    size: int = 1
+
+
+__all__ = [
+    "ContextUpdate",
+    "RebalanceRequest",
+    "EndSession",
+    "Handoff",
+    "ListUnitsRequest",
+    "Propagate",
+    "ResponseMsg",
+    "SessionDenied",
+    "SessionEnded",
+    "SessionStarted",
+    "StartSession",
+    "StateExchange",
+    "UnitList",
+    "content_group",
+    "service_group",
+    "session_group",
+]

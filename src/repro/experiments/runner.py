@@ -1,0 +1,55 @@
+"""Run the whole experiment suite and print every table.
+
+Usage::
+
+    python -m repro.experiments.runner            # full suite
+    python -m repro.experiments.runner --fast     # CI-sized sweeps
+    python -m repro.experiments.runner E1 E4      # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENT_MODULES, get_experiment
+
+
+def run_all(
+    names: list[str] | None = None, seed: int = 0, fast: bool = False
+) -> dict[str, list]:
+    """Run the selected experiments; returns ``{id: [Table, ...]}``."""
+    names = names or list(EXPERIMENT_MODULES)
+    results: dict[str, list] = {}
+    for name in names:
+        module = get_experiment(name)
+        started = time.time()
+        tables = module.run(seed=seed, fast=fast)
+        elapsed = time.time() - started
+        results[name] = tables
+        for table in tables:
+            table.show()
+        print(f"[{name}] done in {elapsed:.1f}s wall time")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=list(EXPERIMENT_MODULES) + [[]],
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--fast", action="store_true", help="small sweeps for smoke runs"
+    )
+    args = parser.parse_args(argv)
+    run_all(args.experiments or None, seed=args.seed, fast=args.fast)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""Fault injection: schedules, random generators, and the injector that
+applies them to a running cluster."""
+
+from repro.faults.generators import poisson_crash_schedule
+from repro.faults.injector import inject
+from repro.faults.schedule import FaultEvent, FaultSchedule
+
+__all__ = ["FaultEvent", "FaultSchedule", "inject", "poisson_crash_schedule"]

@@ -1,0 +1,99 @@
+"""Random fault-pattern generators.
+
+The Section-4 experiments need repeatable random fault workloads: Poisson
+crash/recovery processes per server, correlated crash bursts, and flapping
+partitions.  All generators are pure functions of an RNG, returning a
+:class:`~repro.faults.schedule.FaultSchedule`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.schedule import FaultSchedule
+
+
+def poisson_crash_schedule(
+    rng: np.random.Generator,
+    servers: list[str],
+    duration: float,
+    failure_rate: float,
+    mean_downtime: float = 2.0,
+    spare: str | None = None,
+) -> FaultSchedule:
+    """Independent crash/repair per server.
+
+    Each server alternates up (exponential with rate ``failure_rate``) and
+    down (exponential with mean ``mean_downtime``).  ``spare`` optionally
+    names one server that never crashes (so experiments keep a witness
+    that can always report surviving state).
+    """
+    schedule = FaultSchedule()
+    for server in servers:
+        if server == spare:
+            continue
+        t = 0.0
+        while True:
+            up = float(rng.exponential(1.0 / failure_rate)) if failure_rate > 0 else duration + 1
+            t += up
+            if t >= duration:
+                break
+            schedule.crash(t, server)
+            down = float(rng.exponential(mean_downtime))
+            t += down
+            if t >= duration:
+                break
+            schedule.recover(t, server)
+    return schedule
+
+
+def crash_burst_schedule(
+    rng: np.random.Generator,
+    servers: list[str],
+    at: float,
+    burst_size: int,
+    stagger: float = 0.05,
+    recover_after: float | None = None,
+) -> FaultSchedule:
+    """A correlated burst: ``burst_size`` randomly chosen servers crash
+    within ``stagger`` seconds of ``at`` (the "every session group member
+    fails together" pattern Section 4 worries about)."""
+    schedule = FaultSchedule()
+    burst_size = min(burst_size, len(servers))
+    victims = rng.choice(servers, size=burst_size, replace=False)
+    for index, victim in enumerate(victims):
+        crash_at = at + float(rng.uniform(0, stagger)) + index * 1e-4
+        schedule.crash(crash_at, str(victim))
+        if recover_after is not None:
+            schedule.recover(crash_at + recover_after, str(victim))
+    return schedule
+
+
+def flapping_partition_schedule(
+    rng: np.random.Generator,
+    left: list[str],
+    right: list[str],
+    duration: float,
+    mean_stable: float = 5.0,
+    mean_partitioned: float = 2.0,
+) -> FaultSchedule:
+    """Alternating partition/heal between two server sets (WAN flaps)."""
+    schedule = FaultSchedule()
+    t = 0.0
+    while True:
+        t += float(rng.exponential(mean_stable))
+        if t >= duration:
+            break
+        schedule.partition(t, left, right)
+        t += float(rng.exponential(mean_partitioned))
+        if t >= duration:
+            break
+        schedule.heal(t)
+    return schedule
+
+
+__all__ = [
+    "crash_burst_schedule",
+    "flapping_partition_schedule",
+    "poisson_crash_schedule",
+]

@@ -1,0 +1,47 @@
+"""Applies a fault schedule to a running cluster."""
+
+from __future__ import annotations
+
+from repro.faults.schedule import FaultEvent, FaultSchedule
+
+
+def _apply(cluster, event: FaultEvent) -> None:
+    if event.kind == "crash":
+        server = cluster.servers.get(event.target)
+        if server is not None and server.is_up():
+            server.crash()
+            manager = getattr(cluster, "availability_manager", None)
+            if manager is not None:
+                manager.record_crash(cluster.sim.now)
+    elif event.kind == "recover":
+        server = cluster.servers.get(event.target)
+        if server is not None and not server.is_up():
+            server.recover()
+    elif event.kind == "partition":
+        cluster.network.topology.partition(*event.args["components"])
+    elif event.kind == "heal":
+        cluster.network.topology.heal_partition()
+    elif event.kind == "cut_link":
+        cluster.network.topology.cut_link(
+            event.args["a"], event.args["b"], symmetric=event.args.get("symmetric", True)
+        )
+    elif event.kind == "restore_link":
+        cluster.network.topology.restore_link(
+            event.args["a"], event.args["b"], symmetric=event.args.get("symmetric", True)
+        )
+
+
+def inject(cluster, schedule: FaultSchedule, offset: float | None = None) -> None:
+    """Schedule every fault event on the cluster's simulator.
+
+    ``offset`` defaults to the current simulation time, so a schedule
+    written with times relative to "now" applies as expected after any
+    warm-up the experiment already ran.
+    """
+    base = cluster.sim.now if offset is None else offset
+    for event in schedule.sorted_events():
+        at = base + event.time
+        cluster.sim.schedule_at(at, lambda e=event: _apply(cluster, e))
+
+
+__all__ = ["inject"]

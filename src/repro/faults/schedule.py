@@ -1,0 +1,89 @@
+"""Fault schedules: a declarative list of timed fault events.
+
+A schedule is data, so experiments can log it, replay it, and hand the
+identical fault pattern to the framework and to each baseline — the only
+fair way to compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+VALID_KINDS = {
+    "crash",  # target: server id
+    "recover",  # target: server id
+    "partition",  # args: components (list of node-id lists)
+    "heal",  # no args
+    "cut_link",  # args: a, b, symmetric
+    "restore_link",  # args: a, b, symmetric
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault."""
+
+    time: float
+    kind: str
+    target: Any = None
+    args: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in VALID_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("fault time must be >= 0")
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered collection of fault events."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def add(self, time: float, kind: str, target: Any = None, **args) -> "FaultSchedule":
+        self.events.append(FaultEvent(time=time, kind=kind, target=target, args=args))
+        return self
+
+    def crash(self, time: float, server: str) -> "FaultSchedule":
+        return self.add(time, "crash", server)
+
+    def recover(self, time: float, server: str) -> "FaultSchedule":
+        return self.add(time, "recover", server)
+
+    def partition(self, time: float, *components) -> "FaultSchedule":
+        return self.add(time, "partition", components=[list(c) for c in components])
+
+    def heal(self, time: float) -> "FaultSchedule":
+        return self.add(time, "heal")
+
+    def cut_link(self, time: float, a, b, symmetric: bool = True) -> "FaultSchedule":
+        return self.add(time, "cut_link", a=a, b=b, symmetric=symmetric)
+
+    def restore_link(self, time: float, a, b, symmetric: bool = True) -> "FaultSchedule":
+        return self.add(time, "restore_link", a=a, b=b, symmetric=symmetric)
+
+    def sorted_events(self) -> list[FaultEvent]:
+        return sorted(self.events, key=lambda e: e.time)
+
+    def crashes(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind == "crash"]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def shifted(self, offset: float) -> "FaultSchedule":
+        """The same schedule delayed by ``offset`` seconds (e.g. to skip a
+        warm-up phase)."""
+        return FaultSchedule(
+            events=[
+                FaultEvent(
+                    time=e.time + offset, kind=e.kind, target=e.target, args=e.args
+                )
+                for e in self.events
+            ]
+        )
+
+
+__all__ = ["FaultEvent", "FaultSchedule", "VALID_KINDS"]

@@ -1,0 +1,580 @@
+"""The GCS daemon: one process running the full protocol stack.
+
+A :class:`GcsDaemon` combines
+
+* the heartbeat failure detector,
+* the membership engine (view formation with flush),
+* the sequencer-based total order of its current configuration, and
+* the named-group layer (replicated group map, derived group views,
+  open-group injection for clients),
+
+and exposes the endpoint API the framework is written against: ``join`` /
+``leave`` / ``mcast`` / ``send_ptp`` plus application callbacks for
+delivered messages, group views and configuration changes
+(:class:`~repro.gcs.endpoint.GcsApplication`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable
+
+from repro.gcs.failure_detector import FailureDetector
+from repro.gcs.groups import GroupMap, MEMBERSHIP_GROUP
+from repro.gcs.membership import MembershipEngine
+from repro.gcs.messages import (
+    ClientAck,
+    ClientMcast,
+    Heartbeat,
+    Install,
+    NackSeqs,
+    OrderRequest,
+    Propose,
+    ProposeNack,
+    PtpData,
+    RequestId,
+    Sequenced,
+    SyncReply,
+)
+from repro.gcs.ordering import DuplicateFilter, HoldbackBuffer, PendingRequests
+from repro.gcs.settings import GcsSettings
+from repro.gcs.view import Configuration, GroupView, ViewId
+from repro.sim.network import Message, Network
+from repro.sim.process import Process
+from repro.sim.topology import NodeId
+
+
+class GcsDaemon(Process):
+    """A group-communication daemon (one per server machine).
+
+    Args:
+        node_id: this daemon's address.
+        network: the simulated network.
+        world: all daemon ids that may ever exist (heartbeat targets; the
+            paper likewise assumes a-priori knowledge of the service).
+        app: optional :class:`~repro.gcs.endpoint.GcsApplication` receiving
+            deliveries and views.
+        settings: protocol timing constants.
+        monitor: optional spec monitor receiving protocol-level events
+            (used by the property tests).
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        network: Network,
+        world: Iterable[NodeId],
+        app=None,
+        settings: GcsSettings | None = None,
+        monitor=None,
+    ) -> None:
+        super().__init__(node_id, network)
+        self.world: list[NodeId] = [n for n in world]
+        if node_id not in self.world:
+            self.world.append(node_id)
+        self.app = app
+        self.settings = settings or GcsSettings()
+        self.monitor = monitor
+        self.fd = FailureDetector(
+            node_id,
+            self.settings.suspect_timeout,
+            lambda: self.sim.now,
+            self._on_fd_change,
+        )
+        self.membership = MembershipEngine(self)
+        self.config = Configuration.make(ViewId(0, node_id), [node_id])
+        self.holdback = HoldbackBuffer()
+        self.group_map = GroupMap()
+        self.dup_filter = DuplicateFilter()
+        self.pending = PendingRequests()
+        self._pending_since: dict[RequestId, float] = {}
+        self._req_counter = itertools.count()
+        self._next_seq = 0
+        self._my_groups_intent: set[str] = set()
+        self._last_group_view: dict[str, GroupView] = {}
+        self._member_incarnations: dict[NodeId, int] = {}
+        self._client_acks_pending: dict[RequestId, NodeId] = {}
+        self._membership_event_guard: dict[tuple, int] = {}
+        self._config_installed_at = 0.0
+        self._hb_timer = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._boot()
+
+    def on_recover(self) -> None:
+        """After a crash, come back as a fresh singleton configuration; the
+        heartbeat exchange merges us back into the component.  All group
+        memberships are gone — the application re-joins what it needs."""
+        self.fd.reset()
+        self.membership.reset()
+        self.config = Configuration.make(
+            ViewId(self.membership.view_counter + 1, self.node_id), [self.node_id]
+        )
+        self.membership.view_counter += 1
+        self.holdback = HoldbackBuffer()
+        self.group_map = GroupMap()
+        self.dup_filter = DuplicateFilter()
+        self.pending.clear()
+        self._pending_since.clear()
+        self._next_seq = 0
+        self._my_groups_intent.clear()
+        self._last_group_view.clear()
+        self._client_acks_pending.clear()
+        self._membership_event_guard.clear()
+        self._boot()
+        if self.app is not None and hasattr(self.app, "on_daemon_recovered"):
+            self.app.on_daemon_recovered()
+
+    def _boot(self) -> None:
+        self._config_installed_at = self.sim.now
+        self._emit_config_view()
+        self._hb_timer = self.set_periodic_timer(
+            self.settings.heartbeat_interval,
+            self._tick,
+            label=f"hb:{self.node_id}",
+            first_delay=0.0 if self.sim.now == 0 else None,
+        )
+
+    def _tick(self) -> None:
+        heartbeat = Heartbeat(
+            self.node_id,
+            self.incarnation,
+            self.membership.view_counter,
+            config_view_id=self.config.view_id,
+        )
+        for peer in self.world:
+            if peer != self.node_id:
+                self.send(peer, heartbeat, kind="gcs.heartbeat")
+        self.fd.check()
+        self.membership.on_tick()
+        if self.config_divergence_detected():
+            self.membership.reconfigure()
+        self._resubmit_stale()
+        self._nack_gaps()
+        self.holdback.prune()
+
+    def _on_fd_change(self) -> None:
+        self.membership.reconfigure()
+
+    # ------------------------------------------------------------------
+    # public endpoint API
+    # ------------------------------------------------------------------
+    def join(self, group: str) -> None:
+        """Join a named group (takes effect when the event is ordered)."""
+        if group == MEMBERSHIP_GROUP:
+            raise ValueError(f"{MEMBERSHIP_GROUP} is reserved")
+        if group in self._my_groups_intent:
+            return
+        self._my_groups_intent.add(group)
+        self._submit(MEMBERSHIP_GROUP, ("join", group, self.node_id))
+
+    def leave(self, group: str) -> None:
+        """Leave a named group."""
+        if group not in self._my_groups_intent:
+            return
+        self._my_groups_intent.discard(group)
+        self._submit(MEMBERSHIP_GROUP, ("leave", group, self.node_id))
+
+    def mcast(self, group: str, payload: Any, size: int = 1) -> RequestId:
+        """Reliable, totally ordered multicast to ``group`` (open-group:
+        the sender need not be a member)."""
+        return self._submit(group, payload, size=size)
+
+    def send_ptp(self, dest: NodeId, payload: Any, size: int = 1) -> None:
+        """Plain point-to-point send, outside the total order."""
+        self.send(dest, PtpData(payload), kind="gcs.ptp", size=size)
+
+    def my_groups(self) -> frozenset[str]:
+        return frozenset(self._my_groups_intent)
+
+    def member_incarnations(self) -> dict[NodeId, int]:
+        """The incarnation of each current configuration member, as
+        recorded at install time.  A change between two views of the same
+        member set means that member restarted (and lost its volatile
+        state) — the framework uses this to trigger a state exchange even
+        for restart-without-membership-change events."""
+        return dict(self._member_incarnations)
+
+    def group_view(self, group: str) -> GroupView:
+        """The group's current view as derived from local agreed state."""
+        return self.group_map.view(group, self.config, self.holdback.delivered_upto)
+
+    def members_of(self, group: str) -> frozenset[NodeId]:
+        return frozenset(
+            m for m in self.group_map.members(group) if m in self.config
+        )
+
+    # ------------------------------------------------------------------
+    # submission / total order
+    # ------------------------------------------------------------------
+    def _submit(
+        self,
+        group: str,
+        payload: Any,
+        size: int = 1,
+        request: OrderRequest | None = None,
+    ) -> RequestId:
+        if request is None:
+            request = OrderRequest(
+                request_id=RequestId(
+                    self.node_id, self.incarnation, next(self._req_counter)
+                ),
+                group=group,
+                payload=payload,
+                size_estimate=size,
+            )
+        self.pending.add(request)
+        self._pending_since[request.request_id] = self.sim.now
+        self._send_order_request(request)
+        return request.request_id
+
+    def _send_order_request(self, request: OrderRequest) -> None:
+        if self.membership.forming:
+            return  # resubmitted on install
+        self.send(
+            self.config.sequencer,
+            request,
+            kind="gcs.order_req",
+            size=request.size_estimate,
+        )
+
+    def _resubmit_stale(self) -> None:
+        """Requests can be lost when their order request or its sequencing
+        raced a view change; retry ones that have been pending too long
+        (the duplicate filter makes retries idempotent)."""
+        if self.membership.forming:
+            return
+        threshold = self.sim.now - 2 * self.settings.suspect_timeout
+        for request in self.pending.outstanding():
+            if self._pending_since.get(request.request_id, 0.0) <= threshold:
+                self._pending_since[request.request_id] = self.sim.now
+                self._send_order_request(request)
+
+    def _on_order_request(self, request: OrderRequest) -> None:
+        if self.membership.forming or self.config.sequencer != self.node_id:
+            return
+        sequenced = Sequenced(
+            config_view_id=self.config.view_id, seq=self._next_seq, request=request
+        )
+        self._next_seq += 1
+        for member in self.config.members:
+            if member == self.node_id:
+                continue
+            self.send(
+                member,
+                sequenced,
+                kind="gcs.sequenced",
+                size=request.size_estimate,
+            )
+        # The sequencer takes its own copy synchronously: a message it has
+        # sequenced must be visible to any sync reply it builds from this
+        # instant on, or a racing view formation could install a view
+        # whose flush union silently misses the message.
+        self._on_sequenced(sequenced)
+
+    def _on_sequenced(self, sequenced: Sequenced) -> None:
+        if sequenced.config_view_id != self.config.view_id:
+            return
+        self.holdback.insert(sequenced)
+        if not self.membership.forming:
+            self.flush_ready()
+
+    def flush_ready(self) -> None:
+        """Deliver everything now contiguous in the holdback buffer."""
+        for message in self.holdback.take_ready():
+            self._deliver(message)
+
+    def _nack_gaps(self) -> None:
+        """Lossy links can drop a Sequenced message, leaving a holdback
+        gap that would otherwise stall delivery until the next view
+        change; ask the sequencer to retransmit the missing range."""
+        if self.membership.forming or self.config.sequencer == self.node_id:
+            return
+        missing = self.holdback.missing_seqs()
+        if missing:
+            self.send(
+                self.config.sequencer,
+                NackSeqs(config_view_id=self.config.view_id, seqs=tuple(missing)),
+                kind="gcs.nack_seq",
+            )
+
+    def _on_nack_seqs(self, nack: NackSeqs, sender: NodeId) -> None:
+        if (
+            nack.config_view_id != self.config.view_id
+            or self.config.sequencer != self.node_id
+        ):
+            return
+        for seq in nack.seqs:
+            message = self.holdback.get(seq)
+            if message is not None:
+                self.send(
+                    sender,
+                    message,
+                    kind="gcs.sequenced",
+                    size=message.request.size_estimate,
+                )
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, sequenced: Sequenced) -> None:
+        request = sequenced.request
+        request_id = request.request_id
+        if self.dup_filter.is_duplicate(request_id):
+            self._settle_request(request_id)
+            return
+        if request.group != MEMBERSHIP_GROUP:
+            members = [
+                m
+                for m in self.group_map.members(request.group)
+                if m in self.config
+            ]
+            if not members:
+                # Nobody can apply this message: treating it as delivered
+                # would silently lose it (and poison the duplicate filter
+                # across a later merge).  Leave it pending — the origin
+                # retransmits until the group has members again, or the
+                # client gives up visibly.
+                return
+        self._settle_request(request_id)
+        self.dup_filter.mark_delivered(request_id)
+        if self.monitor is not None:
+            self.monitor.record_delivery(
+                self.node_id, self.config.view_id, sequenced.seq, request
+            )
+        if request.group == MEMBERSHIP_GROUP:
+            self._apply_membership_event(
+                request.payload, sequenced.seq, request_id
+            )
+            return
+        if self.node_id in self.group_map.members(request.group):
+            if self.app is not None:
+                self.app.on_group_message(
+                    request.group, request_id, request.payload, sequenced.seq
+                )
+
+    def _settle_request(self, request_id: RequestId) -> None:
+        """The request is (now known to be) delivered: stop retransmitting
+        it and release any client waiting for an end-to-end ack."""
+        self.pending.resolve(request_id)
+        self._pending_since.pop(request_id, None)
+        waiting_client = self._client_acks_pending.pop(request_id, None)
+        if waiting_client is not None:
+            self.send(waiting_client, ClientAck(request_id), kind="gcs.client_ack")
+
+    def _apply_membership_event(
+        self, event: tuple, change_seq: int, request_id: RequestId
+    ) -> None:
+        action, group, node = event
+        # Delivery is not FIFO per origin (a lost join/leave can be
+        # retransmitted after newer events): apply an event only if it is
+        # the newest we have seen for this (group, node), so a late
+        # retransmitted 'join' can never undo a subsequent 'leave'.
+        guard_key = (group, str(node), request_id.incarnation)
+        if self._membership_event_guard.get(guard_key, -1) >= request_id.counter:
+            return
+        self._membership_event_guard[guard_key] = request_id.counter
+        if action == "join":
+            changed = self.group_map.join(group, node)
+        else:
+            changed = self.group_map.leave(group, node)
+        if changed:
+            self._emit_group_view(group, change_seq)
+
+    # ------------------------------------------------------------------
+    # membership engine plumbing
+    # ------------------------------------------------------------------
+    def send_protocol(
+        self, dest: NodeId, payload: Any, kind: str, size: int = 1
+    ) -> None:
+        self.send(dest, payload, kind=kind, size=size)
+
+    def config_divergence_detected(self) -> bool:
+        """True when a reachable peer persistently reports a different
+        installed configuration — this daemon may be a 'zombie': dropped
+        from a reformation it never heard about, still happily serving.
+        A grace of two heartbeat intervals filters the ordinary window in
+        which peers simply have not heartbeated their new view yet."""
+        if not self.settings.detect_divergence:
+            return False
+        grace = 2 * self.settings.heartbeat_interval
+        if self.sim.now - self._config_installed_at < grace:
+            return False
+        return bool(
+            self.fd.divergent_peers(
+                self.config.view_id,
+                heard_after=self._config_installed_at + grace,
+            )
+        )
+
+    def incarnations_stale(self) -> bool:
+        """True when a current member restarted since the view was
+        installed (its heartbeats carry a new incarnation).  A restart is a
+        membership change even when the estimate set looks unchanged —
+        the restarted peer lost all its state and sits in a singleton
+        view, so a new view must be formed to reabsorb it."""
+        for member in self.config.members:
+            if member == self.node_id:
+                continue
+            incarnation = self.fd.incarnation_of(member)
+            if incarnation is None:
+                continue
+            if incarnation != self._member_incarnations.get(member, incarnation):
+                return True
+        return False
+
+    def _record_member_incarnations(self) -> None:
+        self._member_incarnations = {}
+        for member in self.config.members:
+            if member == self.node_id:
+                self._member_incarnations[member] = self.incarnation
+            else:
+                incarnation = self.fd.incarnation_of(member)
+                if incarnation is not None:
+                    self._member_incarnations[member] = incarnation
+
+    def build_sync_reply(self, attempt, view_counter: int) -> SyncReply:
+        return SyncReply(
+            attempt=attempt,
+            sender=self.node_id,
+            config_view_id=self.config.view_id,
+            sequenced=self.holdback.all_received(),
+            unsequenced=tuple(self.pending.outstanding()),
+            my_groups=tuple(sorted(self._my_groups_intent)),
+            delivered_counters=self.dup_filter.snapshot(),
+            view_counter=view_counter,
+            incarnation=self.incarnation,
+        )
+
+    def apply_install(self, install: Install) -> None:
+        # 1. Finish the old configuration: deliver the agreed tail suffix.
+        tail = install.per_config_tail.get(self.config.view_id, ())
+        for message in tail:
+            if message.seq >= self.holdback.delivered_upto:
+                self._deliver(message)
+        # 2. Switch to the new configuration.
+        self.config = Configuration.make(install.view_id, install.members)
+        self._config_installed_at = self.sim.now
+        # Incarnations come from the members' own sync replies — the only
+        # authoritative source (the failure detector may not have heard a
+        # restarted member's first new-incarnation heartbeat yet).
+        if install.member_incarnations:
+            self._member_incarnations = dict(install.member_incarnations)
+        else:
+            self._record_member_incarnations()
+        self._next_seq = len(install.orphans)
+        self.holdback = HoldbackBuffer()
+        self.group_map = GroupMap.from_snapshot(install.group_map)
+        self.dup_filter.merge(install.delivered_counters)
+        # Requests orphaned by the old configuration's death are delivered
+        # at the head of the new configuration (never re-using old
+        # sequence numbers, which may have been bound to other requests by
+        # the dead sequencer).  Every member seeds the same list, so the
+        # new configuration starts with an agreed prefix.
+        for seq, request in enumerate(install.orphans):
+            self.holdback.insert(
+                Sequenced(
+                    config_view_id=self.config.view_id,
+                    seq=seq,
+                    request=request,
+                )
+            )
+        self.trace(
+            "gcs.view_installed",
+            view=str(install.view_id),
+            members=install.members,
+        )
+        self._emit_config_view()
+        groups_to_emit = set(self.group_map.groups()) | set(self._last_group_view)
+        for group in sorted(groups_to_emit):
+            self._emit_group_view(group, change_seq=0)
+        # 3. Deliver the seeded orphan prefix, then re-drive any still
+        # interrupted requests into the new configuration.
+        self.flush_ready()
+        for request in self.pending.outstanding():
+            self._pending_since[request.request_id] = self.sim.now
+            self._send_order_request(request)
+
+    def _emit_config_view(self) -> None:
+        if self.monitor is not None:
+            self.monitor.record_config_view(self.node_id, self.config)
+        if self.app is not None:
+            self.app.on_config_view(self.config)
+
+    def _emit_group_view(self, group: str, change_seq: int) -> None:
+        view = self.group_map.view(group, self.config, change_seq)
+        previous = self._last_group_view.get(group)
+        if self.node_id in view.members:
+            self._last_group_view[group] = view
+        elif previous is not None:
+            del self._last_group_view[group]
+        else:
+            return  # never was a member; nothing to tell the app
+        if self.monitor is not None:
+            self.monitor.record_group_view(self.node_id, view)
+        if self.app is not None:
+            self.app.on_group_view(view)
+
+    # ------------------------------------------------------------------
+    # client injection (open groups)
+    # ------------------------------------------------------------------
+    def _on_client_mcast(self, mcast: ClientMcast, sender: NodeId) -> None:
+        if self.dup_filter.is_duplicate(mcast.request_id):
+            # Already delivered (e.g. the client retried through us after
+            # another contact succeeded): acknowledge straight away.
+            self.send(sender, ClientAck(mcast.request_id), kind="gcs.client_ack")
+            return
+        if self.settings.end_to_end_client_acks:
+            # End-to-end acknowledgement: ack only when the request is
+            # actually *delivered* in the total order (see _deliver).  If
+            # we crash first, the client times out and retries through
+            # another contact; the duplicate filter keeps delivery
+            # exactly-once.
+            self._client_acks_pending[mcast.request_id] = sender
+        else:
+            # Ablation: acknowledge on receipt (fire-and-forget handoff to
+            # the ordering layer) — a contact crash can now silently drop
+            # an acknowledged update.
+            self.send(sender, ClientAck(mcast.request_id), kind="gcs.client_ack")
+        request = OrderRequest(
+            request_id=mcast.request_id,
+            group=mcast.group,
+            payload=mcast.payload,
+            size_estimate=mcast.size_estimate,
+        )
+        self._submit(mcast.group, mcast.payload, request=request)
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, Heartbeat):
+            self.fd.on_heartbeat(payload)
+        elif isinstance(payload, Sequenced):
+            self._on_sequenced(payload)
+        elif isinstance(payload, OrderRequest):
+            self._on_order_request(payload)
+        elif isinstance(payload, Propose):
+            self.membership.on_propose(payload, message.sender)
+        elif isinstance(payload, SyncReply):
+            self.membership.on_sync_reply(payload)
+        elif isinstance(payload, Install):
+            self.membership.on_install(payload)
+        elif isinstance(payload, ProposeNack):
+            self.membership.on_propose_nack(payload)
+        elif isinstance(payload, NackSeqs):
+            self._on_nack_seqs(payload, message.sender)
+        elif isinstance(payload, ClientMcast):
+            self._on_client_mcast(payload, message.sender)
+        elif isinstance(payload, PtpData):
+            if self.app is not None:
+                self.app.on_ptp(message.sender, payload.payload)
+        else:  # pragma: no cover - defensive
+            self.trace("gcs.unknown_payload", type=type(payload).__name__)
+
+
+__all__ = ["GcsDaemon"]

@@ -1,0 +1,54 @@
+"""Application-facing callback protocols for the GCS.
+
+The framework's server (:mod:`repro.core.server`) implements
+:class:`GcsApplication`; the framework's client library implements
+:class:`GcsClientApplication`.  Keeping these as structural protocols keeps
+the GCS reusable for the tests, examples, and any future service.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.gcs.messages import RequestId
+from repro.gcs.view import Configuration, GroupView
+from repro.sim.topology import NodeId
+
+
+@runtime_checkable
+class GcsApplication(Protocol):
+    """Callbacks a daemon delivers to its hosting application."""
+
+    def on_config_view(self, config: Configuration) -> None:
+        """A new daemon-level configuration was installed."""
+        ...
+
+    def on_group_view(self, view: GroupView) -> None:
+        """A group this application belongs(ed) to changed membership."""
+        ...
+
+    def on_group_message(
+        self, group: str, origin: RequestId, payload: Any, seq: int
+    ) -> None:
+        """A totally ordered multicast addressed to ``group`` arrived."""
+        ...
+
+    def on_ptp(self, sender: NodeId, payload: Any) -> None:
+        """A point-to-point payload (outside the total order) arrived."""
+        ...
+
+
+@runtime_checkable
+class GcsClientApplication(Protocol):
+    """Callbacks delivered by a :class:`~repro.gcs.client_api.GcsClient`."""
+
+    def on_ptp(self, sender: NodeId, payload: Any) -> None:
+        """A point-to-point payload (e.g. a server response) arrived."""
+        ...
+
+    def on_send_failed(self, group: str, payload: Any) -> None:
+        """A group send exhausted its retries without any daemon ack."""
+        ...
+
+
+__all__ = ["GcsApplication", "GcsClientApplication"]

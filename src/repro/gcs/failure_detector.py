@@ -1,0 +1,141 @@
+"""Heartbeat failure detector.
+
+Each daemon periodically multicasts a :class:`~repro.gcs.messages.Heartbeat`
+to every daemon in the world (the statically known set of potential
+servers; the paper likewise assumes a-priori knowledge of the service
+group's name).  A peer is *alive* if a heartbeat arrived within the suspect
+timeout; it becomes suspected when the silence exceeds the timeout, and
+alive again as soon as a heartbeat is heard — including after a partition
+heals, which is how components discover each other and merge.
+
+Incarnation numbers ride on heartbeats so a restarted peer is recognized as
+a membership change even if it restarted faster than the suspect timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.gcs.messages import Heartbeat
+from repro.sim.topology import NodeId
+
+
+@dataclass
+class _PeerState:
+    last_heard: float
+    incarnation: int
+    config_view_id: object = None
+
+
+class FailureDetector:
+    """Tracks which daemons are currently believed alive.
+
+    The detector is passive: the owning daemon feeds it heartbeats via
+    :meth:`on_heartbeat` and pumps time via :meth:`check` (called from a
+    periodic timer).  ``on_change`` fires whenever the alive set — or the
+    incarnation of an alive peer — changes.
+    """
+
+    def __init__(
+        self,
+        me: NodeId,
+        suspect_timeout: float,
+        now: Callable[[], float],
+        on_change: Callable[[], None],
+    ) -> None:
+        self.me = me
+        self.suspect_timeout = suspect_timeout
+        self._now = now
+        self._on_change = on_change
+        self._peers: dict[NodeId, _PeerState] = {}
+        self._alive: set[NodeId] = set()
+        self.max_view_counter_seen = 0
+
+    def on_heartbeat(self, heartbeat: Heartbeat) -> None:
+        """Feed one received heartbeat; may fire ``on_change``."""
+        peer = heartbeat.sender
+        if peer == self.me:
+            return
+        self.max_view_counter_seen = max(
+            self.max_view_counter_seen, heartbeat.view_counter
+        )
+        state = self._peers.get(peer)
+        changed = False
+        if state is None:
+            self._peers[peer] = _PeerState(
+                self._now(), heartbeat.incarnation, heartbeat.config_view_id
+            )
+            changed = True
+        else:
+            if heartbeat.incarnation != state.incarnation:
+                changed = True
+            state.last_heard = self._now()
+            state.incarnation = heartbeat.incarnation
+            state.config_view_id = heartbeat.config_view_id
+        if peer not in self._alive:
+            self._alive.add(peer)
+            changed = True
+        if changed:
+            self._on_change()
+
+    def check(self) -> None:
+        """Expire peers whose last heartbeat is older than the timeout."""
+        now = self._now()
+        expired = {
+            peer
+            for peer in self._alive
+            if now - self._peers[peer].last_heard > self.suspect_timeout
+        }
+        if expired:
+            self._alive -= expired
+            self._on_change()
+
+    def forget(self, peer: NodeId) -> None:
+        """Drop a peer immediately (used when a reply times out so the next
+        formation attempt excludes it without waiting for heartbeat expiry)."""
+        if peer in self._alive:
+            self._alive.discard(peer)
+            self._on_change()
+
+    def reset(self) -> None:
+        """Forget everything (used on process recovery)."""
+        self._peers.clear()
+        self._alive.clear()
+
+    def alive_peers(self) -> frozenset[NodeId]:
+        """Peers currently believed alive (never includes ``me``)."""
+        return frozenset(self._alive)
+
+    def alive_set(self) -> frozenset[NodeId]:
+        """Alive peers plus ``me`` — the membership estimate."""
+        return frozenset(self._alive | {self.me})
+
+    def incarnation_of(self, peer: NodeId) -> int | None:
+        state = self._peers.get(peer)
+        return state.incarnation if state else None
+
+    def divergent_peers(self, my_config_view_id, heard_after: float) -> list[NodeId]:
+        """Alive peers whose latest heartbeat (newer than ``heard_after``)
+        reports a configuration different from mine.
+
+        Persistent divergence means this daemon and the peer sit in
+        different views while able to exchange heartbeats — the 'zombie
+        view' hazard: a daemon dropped from a reformation that never
+        notices, keeps serving, and loses everything at the next merge.
+        Detecting it drives a reconfiguration that reunites the component.
+        """
+        divergent = []
+        for peer in sorted(self._alive, key=str):
+            state = self._peers[peer]
+            if state.last_heard < heard_after:
+                continue
+            if (
+                state.config_view_id is not None
+                and state.config_view_id != my_config_view_id
+            ):
+                divergent.append(peer)
+        return divergent
+
+
+__all__ = ["FailureDetector"]

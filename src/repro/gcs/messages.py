@@ -1,0 +1,219 @@
+"""Wire payloads exchanged by the GCS protocol.
+
+All payloads are small frozen dataclasses.  ``size_estimate`` gives the
+abstract byte count used by the network accounting (experiment E2 charges
+servers for the traffic they process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.gcs.view import ViewId
+from repro.sim.topology import NodeId
+
+
+@dataclass(frozen=True)
+class RequestId:
+    """Globally unique id of one multicast request.
+
+    ``origin`` is the daemon or client that created the message,
+    ``incarnation`` distinguishes restarts of the same node, and
+    ``counter`` increases per origin — so per-origin dedup can keep just
+    the highest counter seen.
+    """
+
+    origin: NodeId
+    incarnation: int
+    counter: int
+
+    def _key(self) -> tuple:
+        return (str(self.origin), self.incarnation, self.counter)
+
+    def __lt__(self, other: "RequestId") -> bool:
+        return self._key() < other._key()
+
+
+# ---------------------------------------------------------------------------
+# failure detection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    sender: NodeId
+    incarnation: int
+    view_counter: int
+    config_view_id: ViewId | None = None
+
+
+# ---------------------------------------------------------------------------
+# total order
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OrderRequest:
+    """Ask the configuration's sequencer to order one group multicast."""
+
+    request_id: RequestId
+    group: str
+    payload: Any
+    size_estimate: int = 1
+
+
+@dataclass(frozen=True)
+class Sequenced:
+    """A multicast stamped with its position in the configuration's total
+    order, disseminated by the sequencer to all configuration members."""
+
+    config_view_id: ViewId
+    seq: int
+    request: OrderRequest
+
+
+@dataclass(frozen=True)
+class NackSeqs:
+    """Member -> sequencer: I hold a gap in the configuration's sequence
+    (a Sequenced message was lost on the wire); please retransmit."""
+
+    config_view_id: ViewId
+    seqs: tuple[int, ...]
+
+
+# ---------------------------------------------------------------------------
+# membership / view formation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttemptId:
+    """Identifies one view-formation attempt: ``(counter, coordinator)``."""
+
+    counter: int
+    coordinator: NodeId
+
+    def _key(self) -> tuple:
+        return (self.counter, str(self.coordinator))
+
+    def __lt__(self, other: "AttemptId") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "AttemptId") -> bool:
+        return self._key() <= other._key()
+
+
+@dataclass(frozen=True)
+class Propose:
+    """Coordinator -> participants: start forming a view with ``members``."""
+
+    attempt: AttemptId
+    members: tuple[NodeId, ...]
+
+
+@dataclass(frozen=True)
+class ProposeNack:
+    """Participant -> coordinator: your attempt counter is stale; retry
+    with a counter above ``view_counter``."""
+
+    attempt: AttemptId
+    view_counter: int
+
+
+@dataclass(frozen=True)
+class SyncReply:
+    """Participant -> coordinator: my state for the flush round.
+
+    * ``config_view_id`` — the configuration I am (was) in; virtual
+      synchrony is enforced among members reporting the same value.
+    * ``sequenced`` — every sequenced message of that configuration I have
+      received, keyed by sequence number.
+    * ``unsequenced`` — my own requests not yet seen sequenced (the
+      coordinator re-sequences them so they are not lost).
+    * ``my_groups`` — the groups I currently belong to (authoritative for
+      me; the coordinator merges these into the new group map).
+    * ``delivered_counters`` — per-origin highest delivered request
+      counter (merged by max; used for duplicate suppression).
+    * ``view_counter`` — highest view counter I have seen.
+    """
+
+    attempt: AttemptId
+    sender: NodeId
+    config_view_id: ViewId
+    sequenced: dict[int, Sequenced]
+    unsequenced: tuple[OrderRequest, ...]
+    my_groups: tuple[str, ...]
+    delivered_counters: dict[tuple, tuple]
+    view_counter: int
+    incarnation: int = 0
+
+
+@dataclass(frozen=True)
+class Install:
+    """Coordinator -> participants: the new view, plus everything each
+    surviving prior configuration must deliver before switching.
+
+    ``per_config_tail`` maps a prior configuration's view id to the ordered
+    list of that configuration's messages (the union of everything any of
+    its surviving members received, followed by re-sequenced orphans).  A
+    participant delivers the not-yet-delivered suffix for *its own* prior
+    configuration, which realizes virtual synchrony.
+    """
+
+    attempt: AttemptId
+    view_id: ViewId
+    members: tuple[NodeId, ...]
+    per_config_tail: dict[ViewId, tuple[Sequenced, ...]]
+    group_map: dict[str, tuple[NodeId, ...]]
+    delivered_counters: dict[tuple, tuple]
+    member_incarnations: dict = field(default_factory=dict)
+    orphans: tuple[OrderRequest, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# client access
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClientMcast:
+    """Client -> contact daemon: inject a group multicast into the total
+    order on my behalf (the GCS's open-group property)."""
+
+    request_id: RequestId
+    group: str
+    payload: Any
+    size_estimate: int = 1
+
+
+@dataclass(frozen=True)
+class ClientAck:
+    """Contact daemon -> client: your message was accepted for ordering."""
+
+    request_id: RequestId
+
+
+__all__ = [
+    "NackSeqs",
+    "PtpData",
+    "AttemptId",
+    "ClientAck",
+    "ClientMcast",
+    "Heartbeat",
+    "Install",
+    "OrderRequest",
+    "Propose",
+    "ProposeNack",
+    "RequestId",
+    "Sequenced",
+    "SyncReply",
+]
+
+
+@dataclass(frozen=True)
+class PtpData:
+    """A point-to-point application payload carried outside the total order
+    (used for server responses to clients and for direct handoffs)."""
+
+    payload: Any

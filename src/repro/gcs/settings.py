@@ -1,0 +1,60 @@
+"""Tunable protocol constants for the GCS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GcsSettings:
+    """Timing parameters of the GCS protocol stack.
+
+    The defaults suit the LAN latency preset (sub-millisecond one-way
+    delays).  WAN experiments scale them up via :meth:`scaled`.
+
+    Attributes:
+        heartbeat_interval: period of the failure detector's heartbeats.
+        suspect_timeout: silence after which a peer is suspected; must be a
+            few heartbeat intervals to ride out jitter.
+        sync_timeout: how long a view-formation coordinator waits for
+            synchronization replies before dropping non-responders and
+            restarting the attempt.
+        install_timeout: how long a participant waits for the INSTALL after
+            accepting a proposal before giving up on the coordinator.
+        client_ack_timeout: how long a client waits for a contact daemon's
+            receipt acknowledgement before rotating to another contact.
+        client_max_retries: give up (surface an error to the application)
+            after this many contact rotations for one message.
+        detect_divergence: reconfigure when a reachable peer persistently
+            reports a different installed view (the zombie-view guard;
+            see DESIGN.md §6).  Disable only for the ablation study.
+        end_to_end_client_acks: acknowledge a client multicast only once
+            it is delivered in the total order (not merely received by
+            the contact daemon).  Disable only for the ablation study.
+    """
+
+    heartbeat_interval: float = 0.1
+    suspect_timeout: float = 0.35
+    sync_timeout: float = 0.6
+    install_timeout: float = 1.2
+    client_ack_timeout: float = 0.25
+    client_max_retries: int = 10
+    detect_divergence: bool = True
+    end_to_end_client_acks: bool = True
+
+    def scaled(self, factor: float) -> "GcsSettings":
+        """Return a copy with all timeouts multiplied by ``factor``
+        (e.g. ``settings.scaled(50)`` for WAN latencies)."""
+        return GcsSettings(
+            heartbeat_interval=self.heartbeat_interval * factor,
+            suspect_timeout=self.suspect_timeout * factor,
+            sync_timeout=self.sync_timeout * factor,
+            install_timeout=self.install_timeout * factor,
+            client_ack_timeout=self.client_ack_timeout * factor,
+            client_max_retries=self.client_max_retries,
+            detect_divergence=self.detect_divergence,
+            end_to_end_client_acks=self.end_to_end_client_acks,
+        )
+
+
+__all__ = ["GcsSettings"]

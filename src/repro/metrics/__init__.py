@@ -1,0 +1,22 @@
+"""Measurement: client-side session audits, primary-interval analysis,
+summary statistics and table rendering for the experiment harness."""
+
+from repro.metrics.collectors import summarize
+from repro.metrics.report import Table
+from repro.metrics.session_audit import (
+    SessionAuditReport,
+    audit_session,
+    lost_updates,
+    primary_intervals,
+    service_gaps,
+)
+
+__all__ = [
+    "SessionAuditReport",
+    "Table",
+    "audit_session",
+    "lost_updates",
+    "primary_intervals",
+    "service_gaps",
+    "summarize",
+]

@@ -1,0 +1,36 @@
+"""Summary statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+
+def summarize(values) -> dict[str, float]:
+    """Mean / std / min / max / median of a value list (NaNs when empty)."""
+    values = sorted(float(v) for v in values)
+    if not values:
+        nan = math.nan
+        return {"n": 0, "mean": nan, "std": nan, "min": nan, "max": nan, "p50": nan}
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1) if n > 1 else 0.0
+    mid = n // 2
+    median = values[mid] if n % 2 else (values[mid - 1] + values[mid]) / 2
+    return {
+        "n": n,
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "min": values[0],
+        "max": values[-1],
+        "p50": median,
+    }
+
+
+def rate_per_second(count: int, duration: float) -> float:
+    """A count normalized to a per-second rate."""
+    if duration <= 0:
+        return math.nan
+    return count / duration
+
+
+__all__ = ["rate_per_second", "summarize"]

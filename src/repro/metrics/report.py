@@ -1,0 +1,70 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment prints its result as one (or a few) tables; benchmarks
+``tee`` this output into ``bench_output.txt`` and EXPERIMENTS.md quotes
+it.  No external dependency — just aligned monospace columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled, aligned text table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        cells = [[_format_cell(v) for v in row] for row in self.rows]
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            name.ljust(widths[index]) for index, name in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append(
+                "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+        print()
+
+
+__all__ = ["Table"]

@@ -1,0 +1,173 @@
+"""Synthetic content units.
+
+The paper's content is static during sessions (changes happen outside the
+framework), so content units are plain immutable data:
+
+* a :class:`Movie` is a numbered frame sequence with an MPEG-like GOP
+  pattern assigning each frame a class (I/P/B) — only the class matters to
+  the uncertainty policies;
+* a :class:`Topic` is a set of learning objects (notes, animations,
+  quizzes) with difficulty levels;
+* a :class:`Corpus` is a set of documents with terms and years, queried by
+  the search service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+DEFAULT_GOP = "IBBPBBPBBPBB"
+
+
+@dataclass(frozen=True)
+class Movie:
+    """One VoD content unit."""
+
+    unit_id: str
+    n_frames: int
+    frame_rate: float = 24.0
+    gop_pattern: str = DEFAULT_GOP
+
+    def frame_class(self, index: int) -> str:
+        return self.gop_pattern[index % len(self.gop_pattern)]
+
+    @property
+    def duration(self) -> float:
+        return self.n_frames / self.frame_rate
+
+
+def build_movie(
+    unit_id: str,
+    duration_seconds: float = 60.0,
+    frame_rate: float = 24.0,
+    gop_pattern: str = DEFAULT_GOP,
+) -> Movie:
+    return Movie(
+        unit_id=unit_id,
+        n_frames=int(round(duration_seconds * frame_rate)),
+        frame_rate=frame_rate,
+        gop_pattern=gop_pattern,
+    )
+
+
+@dataclass(frozen=True)
+class LearningObject:
+    """One item of a distance-education topic."""
+
+    object_id: int
+    kind: str  # "notes" | "animation" | "quiz"
+    difficulty: int  # 1 (easy) .. 3 (hard)
+    body: str
+    answer: int | None = None  # quizzes only
+    links: tuple[int, ...] = ()  # hyper-links to other objects
+
+
+@dataclass(frozen=True)
+class Topic:
+    """One distance-education content unit."""
+
+    unit_id: str
+    objects: tuple[LearningObject, ...]
+
+    def get(self, object_id: int) -> LearningObject | None:
+        if 0 <= object_id < len(self.objects):
+            return self.objects[object_id]
+        return None
+
+    def quizzes(self) -> list[LearningObject]:
+        return [o for o in self.objects if o.kind == "quiz"]
+
+
+def build_topic(
+    unit_id: str, n_objects: int = 12, seed: int = 0
+) -> Topic:
+    """A deterministic topic: notes/animation/quiz round-robin with
+    difficulty rising along the object sequence."""
+    rng = np.random.default_rng(seed)
+    kinds = ["notes", "animation", "quiz"]
+    objects = []
+    for index in range(n_objects):
+        kind = kinds[index % 3]
+        difficulty = 1 + (index * 3) // max(1, n_objects)
+        answer = int(rng.integers(0, 4)) if kind == "quiz" else None
+        links = tuple(
+            int(x) for x in rng.choice(n_objects, size=min(2, n_objects), replace=False)
+        )
+        objects.append(
+            LearningObject(
+                object_id=index,
+                kind=kind,
+                difficulty=min(difficulty, 3),
+                body=f"{unit_id}:{kind}:{index}",
+                answer=answer,
+                links=links,
+            )
+        )
+    return Topic(unit_id=unit_id, objects=tuple(objects))
+
+
+@dataclass(frozen=True)
+class Document:
+    doc_id: int
+    year: int
+    terms: frozenset[str]
+
+
+@dataclass(frozen=True)
+class Corpus:
+    """One search content unit: a static document collection."""
+
+    unit_id: str
+    documents: tuple[Document, ...]
+
+    def matching(self, terms: set[str], within: list[int] | None = None) -> list[int]:
+        """Doc ids containing all ``terms``, optionally restricted to the
+        ``within`` id list (refinement)."""
+        candidates = (
+            self.documents
+            if within is None
+            else [self.documents[i] for i in within if i < len(self.documents)]
+        )
+        return [d.doc_id for d in candidates if terms <= d.terms]
+
+    def after_year(self, year: int, within: list[int]) -> list[int]:
+        return [
+            self.documents[i].doc_id
+            for i in within
+            if i < len(self.documents) and self.documents[i].year > year
+        ]
+
+
+VOCABULARY = [
+    "replication", "group", "view", "consensus", "multicast", "failure",
+    "availability", "session", "video", "membership", "quorum", "partition",
+]
+
+
+def build_corpus(unit_id: str, n_documents: int = 200, seed: int = 0) -> Corpus:
+    rng = np.random.default_rng(seed)
+    documents = []
+    for doc_id in range(n_documents):
+        n_terms = int(rng.integers(2, 6))
+        terms = frozenset(
+            rng.choice(VOCABULARY, size=n_terms, replace=False).tolist()
+        )
+        year = int(rng.integers(1985, 2001))
+        documents.append(Document(doc_id=doc_id, year=year, terms=terms))
+    return Corpus(unit_id=unit_id, documents=tuple(documents))
+
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "LearningObject",
+    "Movie",
+    "Topic",
+    "build_corpus",
+    "build_movie",
+    "build_topic",
+    "DEFAULT_GOP",
+    "VOCABULARY",
+]

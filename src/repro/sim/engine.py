@@ -1,0 +1,226 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic calendar loop: a binary heap of events keyed by
+``(time, sequence)``.  The monotonically increasing sequence number breaks
+ties deterministically in insertion order, which makes every simulation run
+exactly reproducible for a given seed and schedule of calls.
+
+Nothing in the engine knows about networks or processes; those layers are
+built on top (see :mod:`repro.sim.network` and :mod:`repro.sim.process`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulator (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so the heap pops them in timestamp
+    order with deterministic tie-breaking.  ``cancelled`` supports O(1)
+    cancellation: the event stays in the heap but is skipped when popped.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("hello at t=1"))
+        sim.run_until(10.0)
+
+    The simulator clock starts at ``0.0`` and only advances when events are
+    executed.  Callbacks may schedule further events (at or after the
+    current time).
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._executed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._executed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which can be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time=time, seq=next(self._seq), callback=callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue
+        was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, time: float, max_events: int | None = None) -> None:
+        """Run events with timestamps ``<= time``.
+
+        The clock is advanced to exactly ``time`` when the queue drains or
+        only later events remain.  ``max_events`` bounds the number of
+        executed events (a safety valve for runaway protocols in tests).
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to t={time}")
+        if self._running:
+            raise SimulationError("run_until is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._queue:
+                event = self._queue[0]
+                if event.time > time:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._executed += 1
+                event.callback()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before t={time}"
+                    )
+            self._now = time
+        finally:
+            self._running = False
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the event queue is exhausted."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is left unchanged)."""
+        self._queue.clear()
+
+
+@dataclass
+class PeriodicTimer:
+    """A repeating timer built on a :class:`Simulator`.
+
+    The callback fires every ``period`` seconds starting ``period`` (or
+    ``first_delay``) from :meth:`start`.  The timer stops rescheduling once
+    :meth:`stop` is called.
+    """
+
+    sim: Simulator
+    period: float
+    callback: Callable[[], None]
+    label: str = ""
+    _event: Event | None = field(default=None, repr=False)
+    _active: bool = field(default=False, repr=False)
+
+    def start(self, first_delay: float | None = None) -> None:
+        """Arm the timer; the first firing is after ``first_delay`` (default:
+        one full period)."""
+        if self.period <= 0:
+            raise SimulationError(f"period must be positive (got {self.period})")
+        self._active = True
+        delay = self.period if first_delay is None else first_delay
+        self._event = self.sim.schedule(delay, self._fire, label=self.label)
+
+    def stop(self) -> None:
+        """Disarm the timer; a pending firing is cancelled."""
+        self._active = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def _fire(self) -> None:
+        if not self._active:
+            return
+        self.callback()
+        if self._active:
+            self._event = self.sim.schedule(self.period, self._fire, label=self.label)
+
+
+def format_time(t: float) -> str:
+    """Render a simulation timestamp for traces, e.g. ``12.3456s``."""
+    return f"{t:.4f}s"
+
+
+__all__ = [
+    "Event",
+    "PeriodicTimer",
+    "SimulationError",
+    "Simulator",
+    "format_time",
+]

@@ -1,0 +1,268 @@
+"""Simulated message-passing network.
+
+Semantics, chosen to match what the paper's GCS assumes of its transport:
+
+* **FIFO per ordered pair** — delivery time is forced to be monotone per
+  ``(sender, receiver)`` even when the latency model draws out of order.
+* **Reliable while connected** — a message is delivered iff the topology
+  permits ``sender -> receiver`` *both* when it is sent and when it would
+  arrive, and the receiving process is up on arrival.  Messages in flight
+  across a partition onset are therefore lost, exactly the window in which
+  the GCS's view-change flush has to reconcile state.
+* **No duplication, no corruption** — losses only, per the above.
+
+The network also keeps per-node send/receive accounting by message *kind*,
+which experiment E2 (server load vs. configuration parameters) reads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import FixedLatency, LatencyModel
+from repro.sim.topology import NodeId, Topology
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message.
+
+    ``kind`` is a short string used for accounting and tracing (for example
+    ``"heartbeat"``, ``"sequenced"``, ``"response"``); ``size`` is an
+    abstract byte count used by the load metrics.
+    """
+
+    sender: NodeId
+    receiver: NodeId
+    payload: Any
+    kind: str
+    size: int
+    send_time: float
+    msg_id: int
+
+
+@dataclass
+class LinkStats:
+    sent: int = 0
+    received: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class Network:
+    """Connects :class:`~repro.sim.process.Process` instances through the
+    simulator.
+
+    Processes register themselves via :meth:`attach`; messages are scheduled
+    as simulator events with a latency drawn from ``latency_model``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology | None = None,
+        latency_model: LatencyModel | None = None,
+        trace: TraceLog | None = None,
+        loss_probability: float = 0.0,
+        loss_rng=None,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if loss_probability > 0.0 and loss_rng is None:
+            raise ValueError("a seeded loss_rng is required when losses are on")
+        self.sim = sim
+        self.topology = topology if topology is not None else Topology()
+        self.latency_model = latency_model or FixedLatency(0.001)
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.loss_probability = loss_probability
+        self._loss_rng = loss_rng
+        self._handlers: dict[NodeId, Callable[[Message], None]] = {}
+        self._is_up: dict[NodeId, Callable[[], bool]] = {}
+        self._msg_ids = itertools.count()
+        self._last_delivery: dict[tuple[NodeId, NodeId], float] = {}
+        self._stats_sent: dict[NodeId, dict[str, LinkStats]] = defaultdict(
+            lambda: defaultdict(LinkStats)
+        )
+        self._stats_received: dict[NodeId, dict[str, LinkStats]] = defaultdict(
+            lambda: defaultdict(LinkStats)
+        )
+        self.total_sent = 0
+        self.total_delivered = 0
+        self.total_dropped = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        node: NodeId,
+        handler: Callable[[Message], None],
+        is_up: Callable[[], bool],
+    ) -> None:
+        """Register a node's delivery handler and liveness predicate."""
+        self._handlers[node] = handler
+        self._is_up[node] = is_up
+        self.topology.add_node(node)
+
+    def detach(self, node: NodeId) -> None:
+        self._handlers.pop(node, None)
+        self._is_up.pop(node, None)
+        self.topology.remove_node(node)
+
+    @property
+    def nodes(self) -> frozenset[NodeId]:
+        return frozenset(self._handlers)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        payload: Any,
+        kind: str = "msg",
+        size: int = 1,
+    ) -> Message:
+        """Send one message; returns the :class:`Message` envelope.
+
+        Drops (with accounting) if the topology forbids the send right now.
+        Delivery is still conditional on connectivity and receiver liveness
+        at arrival time.
+        """
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            kind=kind,
+            size=size,
+            send_time=self.sim.now,
+            msg_id=next(self._msg_ids),
+        )
+        self.total_sent += 1
+        sent_stats = self._stats_sent[sender][kind]
+        sent_stats.sent += 1
+        sent_stats.bytes_sent += size
+
+        if not self.topology.connected(sender, receiver):
+            self._drop(message, reason="disconnected-at-send")
+            return message
+        if (
+            self.loss_probability > 0.0
+            and sender != receiver
+            and self._loss_rng.random() < self.loss_probability
+        ):
+            self._drop(message, reason="random-loss")
+            return message
+
+        latency = self.latency_model.sample(sender, receiver)
+        arrival = self.sim.now + latency
+        # Enforce FIFO per ordered pair.
+        key = (sender, receiver)
+        previous = self._last_delivery.get(key, -1.0)
+        if arrival <= previous:
+            arrival = previous + 1e-9
+        self._last_delivery[key] = arrival
+        self.sim.schedule_at(
+            arrival, lambda: self._deliver(message), label=f"deliver:{kind}"
+        )
+        return message
+
+    def multicast(
+        self,
+        sender: NodeId,
+        receivers: list[NodeId],
+        payload: Any,
+        kind: str = "msg",
+        size: int = 1,
+        include_self: bool = True,
+    ) -> None:
+        """Send ``payload`` point-to-point to each receiver (no IP multicast
+        is assumed; the GCS builds its guarantees above this)."""
+        for receiver in receivers:
+            if receiver == sender and not include_self:
+                continue
+            self.send(sender, receiver, payload, kind=kind, size=size)
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, message: Message) -> None:
+        receiver = message.receiver
+        if not self.topology.connected(message.sender, receiver):
+            self._drop(message, reason="disconnected-in-flight")
+            return
+        is_up = self._is_up.get(receiver)
+        handler = self._handlers.get(receiver)
+        if handler is None or is_up is None or not is_up():
+            self._drop(message, reason="receiver-down")
+            return
+        self.total_delivered += 1
+        stats = self._stats_received[receiver][message.kind]
+        stats.received += 1
+        stats.bytes_received += message.size
+        self.trace.record(
+            self.sim.now,
+            receiver,
+            "net.deliver",
+            sender=message.sender,
+            kind=message.kind,
+        )
+        handler(message)
+
+    def _drop(self, message: Message, reason: str) -> None:
+        self.total_dropped += 1
+        self._stats_sent[message.sender][message.kind].dropped += 1
+        self.trace.record(
+            self.sim.now,
+            message.sender,
+            "net.drop",
+            receiver=message.receiver,
+            kind=message.kind,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # accounting (read by experiment E2)
+    # ------------------------------------------------------------------
+    def sent_count(self, node: NodeId, kind: str | None = None) -> int:
+        stats = self._stats_sent.get(node, {})
+        if kind is not None:
+            return stats[kind].sent if kind in stats else 0
+        return sum(s.sent for s in stats.values())
+
+    def received_count(self, node: NodeId, kind: str | None = None) -> int:
+        stats = self._stats_received.get(node, {})
+        if kind is not None:
+            return stats[kind].received if kind in stats else 0
+        return sum(s.received for s in stats.values())
+
+    def received_bytes(self, node: NodeId, kind: str | None = None) -> int:
+        stats = self._stats_received.get(node, {})
+        if kind is not None:
+            return stats[kind].bytes_received if kind in stats else 0
+        return sum(s.bytes_received for s in stats.values())
+
+    def kinds_received(self, node: NodeId) -> dict[str, int]:
+        """Per-kind received message counts for ``node``."""
+        return {
+            kind: stats.received
+            for kind, stats in self._stats_received.get(node, {}).items()
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the accounting (used to exclude warm-up from measurements)."""
+        self._stats_sent.clear()
+        self._stats_received.clear()
+        self.total_sent = 0
+        self.total_delivered = 0
+        self.total_dropped = 0
+
+
+__all__ = ["LinkStats", "Message", "Network"]

@@ -1,0 +1,180 @@
+"""Process abstraction: a node with an inbox, timers and a crash lifecycle.
+
+A :class:`Process` is the unit of failure in the reproduction.  Crashing a
+process cancels all of its timers and makes the network drop messages
+addressed to it; recovering gives it a fresh *incarnation number* so that
+higher layers (the GCS membership) can distinguish a restarted process from
+the old one.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+from repro.sim.engine import Event, PeriodicTimer, Simulator
+from repro.sim.network import Message, Network
+from repro.sim.topology import NodeId
+
+
+class ProcessState(enum.Enum):
+    UP = "up"
+    CRASHED = "crashed"
+
+
+class Process:
+    """Base class for simulated nodes.
+
+    Subclasses override :meth:`on_message` (and optionally :meth:`on_start`,
+    :meth:`on_crash`, :meth:`on_recover`).  All interaction with the world
+    goes through :meth:`send`, :meth:`set_timer` and
+    :meth:`set_periodic_timer`, which are automatically neutered while the
+    process is crashed.
+    """
+
+    def __init__(self, node_id: NodeId, network: Network) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.state = ProcessState.UP
+        self.incarnation = 0
+        self._timers: list[Event] = []
+        self._periodic: list[PeriodicTimer] = []
+        network.attach(node_id, self._receive, self.is_up)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def is_up(self) -> bool:
+        return self.state is ProcessState.UP
+
+    def start(self) -> None:
+        """Run the subclass start hook (call once after construction)."""
+        self.on_start()
+
+    def crash(self) -> None:
+        """Fail-stop: all timers die, future deliveries are dropped."""
+        if self.state is ProcessState.CRASHED:
+            return
+        self.state = ProcessState.CRASHED
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for periodic in self._periodic:
+            periodic.stop()
+        self._periodic.clear()
+        self.network.trace.record(self.sim.now, self.node_id, "process.crash")
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Restart with a new incarnation; volatile state is the subclass's
+        responsibility to reset in :meth:`on_recover`."""
+        if self.state is ProcessState.UP:
+            return
+        self.state = ProcessState.UP
+        self.incarnation += 1
+        self.network.trace.record(
+            self.sim.now, self.node_id, "process.recover", incarnation=self.incarnation
+        )
+        self.on_recover()
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(
+        self, receiver: NodeId, payload: Any, kind: str = "msg", size: int = 1
+    ) -> None:
+        """Send a point-to-point message (silently ignored while crashed)."""
+        if not self.is_up():
+            return
+        self.network.send(self.node_id, receiver, payload, kind=kind, size=size)
+
+    def multicast(
+        self,
+        receivers: list[NodeId],
+        payload: Any,
+        kind: str = "msg",
+        size: int = 1,
+        include_self: bool = True,
+    ) -> None:
+        if not self.is_up():
+            return
+        self.network.multicast(
+            self.node_id,
+            receivers,
+            payload,
+            kind=kind,
+            size=size,
+            include_self=include_self,
+        )
+
+    def _receive(self, message: Message) -> None:
+        if not self.is_up():
+            return
+        self.on_message(message)
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def set_timer(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """One-shot timer; auto-cancelled if the process crashes first."""
+        if not self.is_up():
+            raise RuntimeError(f"{self.node_id} is crashed; cannot set timer")
+
+        def guarded() -> None:
+            if self.is_up():
+                callback()
+
+        event = self.sim.schedule(delay, guarded, label=label or f"{self.node_id}")
+        self._timers.append(event)
+        if len(self._timers) > 256:
+            self._timers = [t for t in self._timers if not t.cancelled]
+        return event
+
+    def set_periodic_timer(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        label: str = "",
+        first_delay: float | None = None,
+    ) -> PeriodicTimer:
+        """Repeating timer; stops when the process crashes."""
+        if not self.is_up():
+            raise RuntimeError(f"{self.node_id} is crashed; cannot set timer")
+        timer = PeriodicTimer(
+            sim=self.sim,
+            period=period,
+            callback=callback,
+            label=label or f"{self.node_id}",
+        )
+        timer.start(first_delay=first_delay)
+        self._periodic.append(timer)
+        return timer
+
+    def trace(self, category: str, **detail: Any) -> None:
+        """Record a trace event attributed to this process."""
+        self.network.trace.record(self.sim.now, self.node_id, category, **detail)
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Called once when the process is started."""
+
+    def on_message(self, message: Message) -> None:
+        """Called for every delivered message while the process is up."""
+        raise NotImplementedError
+
+    def on_crash(self) -> None:
+        """Called when the process crashes (after timers are cancelled)."""
+
+    def on_recover(self) -> None:
+        """Called when the process recovers (new incarnation)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.node_id} {self.state.value}>"
+
+
+__all__ = ["Process", "ProcessState"]

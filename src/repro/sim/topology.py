@@ -1,0 +1,173 @@
+"""Connectivity topology: who can currently talk to whom.
+
+The paper's risk analysis distinguishes *transitive* connectivity (typical
+of a LAN: partitions split the system into clean components) from
+*non-transitive* connectivity (occasionally seen in WANs: two servers cannot
+talk to each other yet both can talk to the client).  The second pattern is
+exactly the one that lets a session group split with two sides each
+believing it owns the client (Section 4, third bullet).  The topology layer
+therefore supports both whole-set partitions and individual directed link
+cuts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Hashable
+
+NodeId = Hashable
+
+
+class Topology:
+    """Mutable connectivity among node identifiers.
+
+    By default every pair of nodes is connected.  Connectivity is reduced
+    either by *partitioning* (grouping nodes into components; traffic only
+    flows within a component) or by cutting individual directed links.  Both
+    mechanisms compose: a link is usable only if the partition allows it and
+    it is not individually cut.
+
+    The structure is intentionally simple — experiments mutate it over time
+    through :mod:`repro.faults`.
+    """
+
+    def __init__(self, nodes: Iterable[NodeId] = ()) -> None:
+        self._nodes: set[NodeId] = set(nodes)
+        self._component_of: dict[NodeId, int] = {}
+        self._cut_links: set[tuple[NodeId, NodeId]] = set()
+        self._down: set[NodeId] = set()
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # node management
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId) -> None:
+        self._nodes.add(node)
+
+    def remove_node(self, node: NodeId) -> None:
+        self._nodes.discard(node)
+        self._component_of.pop(node, None)
+        self._down.discard(node)
+        self._cut_links = {
+            (a, b) for (a, b) in self._cut_links if a != node and b != node
+        }
+        self._generation += 1
+
+    @property
+    def nodes(self) -> frozenset[NodeId]:
+        return frozenset(self._nodes)
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every connectivity change; lets caches invalidate."""
+        return self._generation
+
+    # ------------------------------------------------------------------
+    # node up/down (process crash is modelled in Process; *network* down
+    # here models an unplugged machine whose packets vanish)
+    # ------------------------------------------------------------------
+    def set_node_down(self, node: NodeId, down: bool = True) -> None:
+        if down:
+            self._down.add(node)
+        else:
+            self._down.discard(node)
+        self._generation += 1
+
+    def is_node_down(self, node: NodeId) -> bool:
+        return node in self._down
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+    def partition(self, *components: Iterable[NodeId]) -> None:
+        """Split the listed nodes into components.
+
+        Nodes not mentioned in any component keep full connectivity with
+        each other but are isolated from all partitioned nodes only if the
+        partitioned node's component excludes them — i.e. unmentioned nodes
+        form one implicit extra component.
+        """
+        self._component_of = {}
+        for index, component in enumerate(components):
+            for node in component:
+                self._component_of[node] = index
+        self._generation += 1
+
+    def heal_partition(self) -> None:
+        """Remove all partition constraints (cut links remain cut)."""
+        self._component_of = {}
+        self._generation += 1
+
+    def _same_component(self, a: NodeId, b: NodeId) -> bool:
+        ca = self._component_of.get(a, -1)
+        cb = self._component_of.get(b, -1)
+        return ca == cb
+
+    # ------------------------------------------------------------------
+    # individual link cuts (directed; cut both directions for a symmetric
+    # failure).  These create non-transitive connectivity.
+    # ------------------------------------------------------------------
+    def cut_link(self, a: NodeId, b: NodeId, symmetric: bool = True) -> None:
+        self._cut_links.add((a, b))
+        if symmetric:
+            self._cut_links.add((b, a))
+        self._generation += 1
+
+    def restore_link(self, a: NodeId, b: NodeId, symmetric: bool = True) -> None:
+        self._cut_links.discard((a, b))
+        if symmetric:
+            self._cut_links.discard((b, a))
+        self._generation += 1
+
+    def restore_all_links(self) -> None:
+        self._cut_links.clear()
+        self._generation += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def connected(self, sender: NodeId, receiver: NodeId) -> bool:
+        """Can a message sent now by ``sender`` reach ``receiver``?"""
+        if sender == receiver:
+            return sender not in self._down
+        if sender in self._down or receiver in self._down:
+            return False
+        if not self._same_component(sender, receiver):
+            return False
+        return (sender, receiver) not in self._cut_links
+
+    def component_members(self, node: NodeId) -> frozenset[NodeId]:
+        """All nodes bidirectionally connected to ``node`` (direct links)."""
+        return frozenset(
+            other
+            for other in self._nodes
+            if self.connected(node, other) and self.connected(other, node)
+        )
+
+    def is_transitive(self) -> bool:
+        """True when current connectivity is an equivalence relation.
+
+        Non-transitive states arise from asymmetric/selective link cuts and
+        are the WAN pattern from the paper's Section 4.
+        """
+        nodes = [n for n in self._nodes if n not in self._down]
+        for a in nodes:
+            for b in nodes:
+                if not self.connected(a, b):
+                    continue
+                for c in nodes:
+                    if self.connected(b, c) and not self.connected(a, c):
+                        return False
+        return True
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly dump used by traces and debugging."""
+        return {
+            "nodes": sorted(map(str, self._nodes)),
+            "down": sorted(map(str, self._down)),
+            "components": {str(n): c for n, c in self._component_of.items()},
+            "cut_links": sorted((str(a), str(b)) for a, b in self._cut_links),
+        }
+
+
+__all__ = ["NodeId", "Topology"]

@@ -1,0 +1,108 @@
+"""Structured trace log.
+
+Every interesting action in the stack (message delivery, view installation,
+primary takeover, ...) can be recorded as a :class:`TraceEvent`.  Traces are
+the raw material for the experiment metrics and make failed property tests
+debuggable: a test can dump the interleaving that broke an invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: time, originating node, category, and details."""
+
+    time: float
+    node: Any
+    category: str
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        details = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.4f}s] {self.node} {self.category} {details}"
+
+
+class TraceLog:
+    """An append-only log of :class:`TraceEvent` with simple querying.
+
+    Recording can be disabled wholesale (``enabled=False``) or filtered to a
+    set of categories, which keeps long benchmark runs cheap.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Iterable[str] | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self._categories = set(categories) if categories is not None else None
+        self._capacity = capacity
+        self._events: list[TraceEvent] = []
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+
+    def record(self, time: float, node: Any, category: str, **detail: Any) -> None:
+        """Append an event (no-op when disabled or category filtered out)."""
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        event = TraceEvent(time=time, node=node, category=category, detail=detail)
+        self._events.append(event)
+        if self._capacity is not None and len(self._events) > self._capacity:
+            del self._events[: len(self._events) - self._capacity]
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``callback`` synchronously for every future event."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def select(
+        self,
+        category: str | None = None,
+        node: Any | None = None,
+        since: float | None = None,
+        until: float | None = None,
+    ) -> list[TraceEvent]:
+        """Return events matching all given filters."""
+        result = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if node is not None and event.node != node:
+                continue
+            if since is not None and event.time < since:
+                continue
+            if until is not None and event.time > until:
+                continue
+            result.append(event)
+        return result
+
+    def count(self, category: str) -> int:
+        return sum(1 for event in self._events if event.category == category)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def dump(self, limit: int | None = None) -> str:  # pragma: no cover
+        """Render the (tail of the) trace for debugging."""
+        events = self._events if limit is None else self._events[-limit:]
+        return "\n".join(str(event) for event in events)
+
+
+__all__ = ["TraceEvent", "TraceLog"]

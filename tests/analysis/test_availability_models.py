@@ -1,0 +1,178 @@
+"""Unit and property tests for the Section-4 analytic models."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.availability import (
+    context_loss_probability,
+    expected_duplicate_responses,
+    expected_lost_updates_per_failover,
+    per_server_load,
+    takeover_gap_estimate,
+    total_outage_probability,
+)
+from repro.analysis.montecarlo import MonteCarlo
+
+
+class TestContextLoss:
+    def test_known_value(self):
+        # lambda=0.1, T=1, s=1: 1 - e^-0.1 ~ 0.09516
+        assert context_loss_probability(0.1, 1.0, 1) == pytest.approx(
+            1 - math.exp(-0.1)
+        )
+
+    def test_monotone_decreasing_in_group_size(self):
+        values = [context_loss_probability(0.1, 1.0, s) for s in range(1, 6)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_monotone_increasing_in_period(self):
+        values = [
+            context_loss_probability(0.1, t, 2) for t in (0.1, 0.5, 1.0, 2.0)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_zero_failure_rate(self):
+        assert context_loss_probability(0.0, 1.0, 3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            context_loss_probability(0.1, 0.0, 1)
+        with pytest.raises(ValueError):
+            context_loss_probability(0.1, 1.0, 0)
+        with pytest.raises(ValueError):
+            context_loss_probability(-0.1, 1.0, 1)
+
+    @given(
+        rate=st.floats(min_value=0.0, max_value=10.0),
+        period=st.floats(min_value=0.001, max_value=10.0),
+        size=st.integers(min_value=1, max_value=10),
+    )
+    def test_is_a_probability(self, rate, period, size):
+        p = context_loss_probability(rate, period, size)
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        rate=st.floats(min_value=0.001, max_value=1.0),
+        period=st.floats(min_value=0.01, max_value=5.0),
+        size=st.integers(min_value=1, max_value=6),
+    )
+    def test_adding_a_backup_never_hurts(self, rate, period, size):
+        assert context_loss_probability(
+            rate, period, size + 1
+        ) <= context_loss_probability(rate, period, size)
+
+
+class TestTotalOutage:
+    def test_known_value(self):
+        # lambda = mu -> each server down half the time
+        assert total_outage_probability(1.0, 1.0, 2) == pytest.approx(0.25)
+
+    def test_monotone_in_replication(self):
+        values = [total_outage_probability(0.1, 1.0, r) for r in range(1, 6)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            total_outage_probability(0.1, 0.0, 1)
+        with pytest.raises(ValueError):
+            total_outage_probability(0.1, 1.0, 0)
+
+
+class TestDuplicatesAndLoad:
+    def test_expected_duplicates_half_window(self):
+        assert expected_duplicate_responses(0.5, 24.0) == pytest.approx(6.0)
+
+    def test_expected_duplicates_validation(self):
+        with pytest.raises(ValueError):
+            expected_duplicate_responses(0.0, 24.0)
+
+    def test_expected_lost_updates_scales_with_loss_probability(self):
+        few = expected_lost_updates_per_failover(1.0, 0.5, 3, 0.1)
+        many = expected_lost_updates_per_failover(1.0, 0.5, 1, 0.1)
+        assert few < many
+
+    def test_per_server_load_breakdown_adds_up(self):
+        load = per_server_load(
+            n_sessions=10, n_servers=5, content_group_size=5,
+            propagation_period=0.5, num_backups=2,
+            update_rate=1.0, response_rate=10.0,
+        )
+        assert load["total"] == pytest.approx(
+            load["propagation"]
+            + load["backup_updates"]
+            + load["primary_updates"]
+            + load["responses"]
+        )
+        assert load["propagation"] == pytest.approx(10 * 5 / 5 / 0.5)
+        assert load["backup_updates"] == pytest.approx(2 * 2.0)
+
+    def test_per_server_load_validation(self):
+        with pytest.raises(ValueError):
+            per_server_load(1, 0, 1, 0.5, 0, 1.0, 1.0)
+
+    def test_takeover_gap_estimate_join_larger(self):
+        fail = takeover_gap_estimate(0.35)
+        join = takeover_gap_estimate(0.35, state_exchange=True)
+        assert join > fail
+
+
+class TestMonteCarlo:
+    def test_runs_and_aggregates(self):
+        mc = MonteCarlo(
+            fn=lambda seed: {"x": float(seed % 3), "y": 1.0},
+            n_reps=6,
+            base_seed=0,
+        ).run()
+        assert len(mc.replications) == 6
+        assert mc.metric_names() == ["x", "y"]
+        agg = mc.aggregate("y")
+        assert agg.mean == 1.0 and agg.std == 0.0 and agg.n == 6
+
+    def test_seeds_distinct_per_rep(self):
+        mc = MonteCarlo(fn=lambda s: {"seed": float(s)}, n_reps=4).run()
+        assert len(set(mc.values("seed"))) == 4
+
+    def test_missing_metric_gives_nan(self):
+        mc = MonteCarlo(fn=lambda s: {}, n_reps=2).run()
+        assert math.isnan(mc.aggregate("nope").mean)
+
+    def test_summary(self):
+        mc = MonteCarlo(fn=lambda s: {"a": 2.0}, n_reps=2).run()
+        assert set(mc.summary()) == {"a"}
+
+
+class TestManagerDerivations:
+    def test_backups_for_target_monotone(self):
+        from repro.core.manager import backups_for_target
+
+        loose = backups_for_target(1e-1, 0.1, 0.5)
+        tight = backups_for_target(1e-6, 0.1, 0.5)
+        assert tight >= loose
+
+    def test_backups_for_target_achieves_target(self):
+        from repro.core.manager import backups_for_target
+
+        target = 1e-4
+        backups = backups_for_target(target, 0.05, 0.5)
+        assert context_loss_probability(0.05, 0.5, backups + 1) <= target
+
+    def test_backups_for_target_validation(self):
+        from repro.core.manager import backups_for_target
+
+        with pytest.raises(ValueError):
+            backups_for_target(0.0, 0.1, 0.5)
+
+    def test_period_for_target_meets_target(self):
+        from repro.core.manager import period_for_target
+
+        target = 1e-3
+        period = period_for_target(target, 0.1, num_backups=1)
+        assert context_loss_probability(0.1, period, 2) <= target * 1.01
+
+    def test_period_for_target_longer_with_more_backups(self):
+        from repro.core.manager import period_for_target
+
+        assert period_for_target(1e-4, 0.1, 2) >= period_for_target(1e-4, 0.1, 1)

@@ -1,0 +1,89 @@
+"""Tests for the Markov availability models."""
+
+import math
+
+import pytest
+
+from repro.analysis.availability import total_outage_probability
+from repro.analysis.markov import (
+    all_down_hitting_probability,
+    steady_state_all_down,
+    steady_state_distribution,
+)
+
+
+class TestSteadyState:
+    def test_matches_binomial_for_independent_repair(self):
+        # independent repair => all-down probability = (lam/(lam+mu))^n
+        for n in (1, 2, 4):
+            markov = steady_state_all_down(n, 0.1, 0.5)
+            simple = total_outage_probability(0.1, 0.5, n)
+            assert markov == pytest.approx(simple, rel=1e-9)
+
+    def test_distribution_sums_to_one(self):
+        pi = steady_state_distribution(5, 0.2, 1.0)
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+
+    def test_single_repairman_has_heavier_tail(self):
+        shared = steady_state_all_down(4, 0.2, 0.5, single_repairman=True)
+        independent = steady_state_all_down(4, 0.2, 0.5)
+        assert shared > independent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            steady_state_distribution(0, 0.1, 1.0)
+
+
+class TestHittingProbability:
+    def test_single_replica_closed_form(self):
+        # n=1: time-to-failure exponential(lam); P(hit within T) = 1-e^-lam*T
+        lam, horizon = 0.1, 10.0
+        p = all_down_hitting_probability(1, lam, 1.0, horizon)
+        assert p == pytest.approx(1 - math.exp(-lam * horizon), rel=1e-6)
+
+    def test_monotone_in_horizon(self):
+        values = [
+            all_down_hitting_probability(3, 0.1, 0.5, t) for t in (1, 10, 100)
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_monotone_decreasing_in_replication(self):
+        values = [
+            all_down_hitting_probability(n, 0.1, 0.5, 60.0) for n in (1, 2, 3, 4)
+        ]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_zero_horizon(self):
+        assert all_down_hitting_probability(3, 0.1, 0.5, 0.0) == pytest.approx(0.0)
+
+    def test_is_probability(self):
+        for n in (1, 3):
+            for t in (0.5, 5.0, 500.0):
+                p = all_down_hitting_probability(n, 0.3, 0.4, t)
+                assert 0.0 <= p <= 1.0
+
+    def test_single_repairman_riskier(self):
+        shared = all_down_hitting_probability(
+            3, 0.2, 0.5, 60.0, single_repairman=True
+        )
+        independent = all_down_hitting_probability(3, 0.2, 0.5, 60.0)
+        assert shared > independent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            all_down_hitting_probability(2, 0.1, 0.0, 1.0)
+
+    def test_matches_e5_regime_roughly(self):
+        """E5 measured ~100% of sessions lost at r<=2 and ~0-25% at r>=4
+        with lam=0.1, mttr=3s over 60s; the hitting model should predict
+        the same ordering."""
+        predictions = {
+            n: all_down_hitting_probability(n, 0.1, 1 / 3.0, 60.0)
+            for n in (1, 2, 3, 4, 5)
+        }
+        assert predictions[1] > 0.9
+        assert predictions[2] > 0.5
+        assert predictions[5] < 0.3
+        values = [predictions[n] for n in (1, 2, 3, 4, 5)]
+        assert all(a > b for a, b in zip(values, values[1:]))

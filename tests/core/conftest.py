@@ -1,0 +1,58 @@
+"""Fixtures for the framework integration tests: a small VoD deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AvailabilityPolicy, ServiceCluster
+from repro.services import VodApplication, build_movie
+
+
+def make_vod_cluster(
+    n_servers=3,
+    replication=3,
+    num_backups=1,
+    propagation_period=0.5,
+    frame_rate=10.0,
+    duration=120.0,
+    n_movies=1,
+    seed=7,
+    **policy_kwargs,
+):
+    movies = {
+        f"m{i}": build_movie(f"m{i}", duration_seconds=duration, frame_rate=frame_rate)
+        for i in range(n_movies)
+    }
+    app = VodApplication(movies)
+    policy = AvailabilityPolicy(
+        num_backups=num_backups,
+        propagation_period=propagation_period,
+        **policy_kwargs,
+    )
+    cluster = ServiceCluster.build(
+        n_servers=n_servers,
+        units={unit: app for unit in movies},
+        replication=replication,
+        policy=policy,
+        seed=seed,
+    )
+    cluster.settle()
+    return cluster
+
+
+def start_streaming_session(cluster, client_id="c0", unit="m0", run=3.0):
+    client = cluster.add_client(client_id)
+    handle = client.start_session(unit)
+    cluster.run(run)
+    return client, handle
+
+
+@pytest.fixture
+def vod_cluster():
+    return make_vod_cluster()
+
+
+@pytest.fixture
+def streaming(vod_cluster):
+    client, handle = start_streaming_session(vod_cluster)
+    return vod_cluster, client, handle

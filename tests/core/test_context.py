@@ -1,0 +1,103 @@
+"""Unit tests for the three-level context model."""
+
+from repro.core.context import BackupContext, ContextSnapshot, PrimaryContext
+
+
+def apply(state, update):
+    return state + [update]
+
+
+def snap(update_counter=0, response_counter=0, epoch=0, state=None):
+    return ContextSnapshot(
+        app_state=state if state is not None else [],
+        update_counter=update_counter,
+        response_counter=response_counter,
+        stamped_at=1.0,
+        epoch=epoch,
+    )
+
+
+class TestContextSnapshot:
+    def test_freshness_ordered_by_update_progress_first(self):
+        # Epochs are per-lineage counters: an epoch-richer but
+        # update-poorer snapshot (a stale dual primary) must lose.
+        assert snap(update_counter=0, epoch=9).freshness_key() < snap(
+            update_counter=1, epoch=1
+        ).freshness_key()
+
+    def test_freshness_then_responses_then_epoch(self):
+        a = snap(update_counter=1, response_counter=0, epoch=9)
+        b = snap(update_counter=1, response_counter=5, epoch=1)
+        assert a.freshness_key() < b.freshness_key()
+        c = snap(update_counter=1, response_counter=5, epoch=2)
+        assert b.freshness_key() < c.freshness_key()
+
+
+class TestPrimaryContext:
+    def test_snapshot_deep_copies_state(self):
+        ctx = PrimaryContext(app_state=["a"])
+        captured = ctx.snapshot(now=5.0)
+        ctx.app_state.append("b")
+        assert captured.app_state == ["a"]
+
+    def test_snapshot_advances_epoch(self):
+        ctx = PrimaryContext(app_state=[])
+        s1 = ctx.snapshot(now=1.0)
+        s2 = ctx.snapshot(now=2.0)
+        assert s2.epoch == s1.epoch + 1
+        assert s2.stamped_at == 2.0
+
+    def test_from_snapshot_roundtrip(self):
+        original = snap(update_counter=3, response_counter=7, epoch=2, state=[1])
+        ctx = PrimaryContext.from_snapshot(original)
+        assert ctx.update_counter == 3
+        assert ctx.response_counter == 7
+        assert ctx.epoch == 2
+        ctx.app_state.append(2)
+        assert original.app_state == [1]  # no aliasing
+
+
+class TestBackupContext:
+    def test_updates_newer_than_base_are_logged(self):
+        backup = BackupContext(base=snap(update_counter=2))
+        backup.apply_update(2, "old")  # not newer; ignored
+        backup.apply_update(3, "new")
+        assert backup.update_log == [(3, "new")]
+        assert backup.effective_update_counter == 3
+
+    def test_rebase_prunes_covered_updates(self):
+        backup = BackupContext(base=snap(update_counter=0, epoch=1))
+        backup.apply_update(1, "u1")
+        backup.apply_update(2, "u2")
+        backup.rebase(snap(update_counter=1, epoch=2))
+        assert backup.update_log == [(2, "u2")]
+
+    def test_rebase_ignores_stale_snapshot(self):
+        backup = BackupContext(base=snap(update_counter=5, epoch=3))
+        backup.apply_update(6, "u6")
+        backup.rebase(snap(update_counter=4, epoch=9))  # update-poorer
+        assert backup.base.update_counter == 5
+        assert backup.update_log == [(6, "u6")]
+
+    def test_effective_replays_log_in_order(self):
+        backup = BackupContext(base=snap(update_counter=0, state=[]))
+        backup.apply_update(2, "b")
+        backup.apply_update(1, "a")
+        effective = backup.effective(apply)
+        assert effective.app_state == ["a", "b"]
+        assert effective.update_counter == 2
+
+    def test_effective_does_not_mutate_base(self):
+        backup = BackupContext(base=snap(state=[]))
+        backup.apply_update(1, "x")
+        backup.effective(apply)
+        assert backup.base.app_state == []
+
+    def test_backup_at_least_as_fresh_as_unit_db(self):
+        """The paper's invariant: the session group's knowledge of client
+        updates is >= the unit database's."""
+        db_snapshot = snap(update_counter=4, epoch=7)
+        backup = BackupContext(base=db_snapshot)
+        assert backup.effective_update_counter >= db_snapshot.update_counter
+        backup.apply_update(5, "newer")
+        assert backup.effective_update_counter > db_snapshot.update_counter

@@ -1,0 +1,132 @@
+"""Tests for the future-work extensions: RSM and availability manager."""
+
+import pytest
+
+from repro.core.manager import AvailabilityManager
+from repro.core.statemachine import ReplicatedStateMachine
+from repro.experiments.e10_extensions import _rsm_world
+from tests.core.conftest import make_vod_cluster
+
+
+class TestReplicatedStateMachine:
+    def test_concurrent_updates_converge(self):
+        sim, hosts = _rsm_world(3)
+        names = sorted(hosts)
+        for index in range(30):
+            hosts[names[index % 3]].rsm.submit((f"k{index % 5}", index))
+        sim.run_until(sim.now + 3.0)
+        states = [sorted(hosts[n].rsm.state.items()) for n in names]
+        assert states[0] == states[1] == states[2]
+        assert hosts[names[0]].rsm.applied_count == 30
+
+    def test_total_order_gives_identical_last_writer(self):
+        sim, hosts = _rsm_world(3)
+        names = sorted(hosts)
+        # everyone writes the same key concurrently; replicas must agree
+        for index in range(9):
+            hosts[names[index % 3]].rsm.submit(("contested", index))
+        sim.run_until(sim.now + 3.0)
+        winners = {hosts[n].rsm.state["contested"] for n in names}
+        assert len(winners) == 1
+
+    def test_survivors_consistent_across_crash(self):
+        sim, hosts = _rsm_world(3)
+        names = sorted(hosts)
+        for index in range(10):
+            hosts[names[0]].rsm.submit((f"k{index}", index))
+        sim.run_until(sim.now + 2.0)
+        hosts[names[1]].daemon.crash()
+        for index in range(10, 20):
+            hosts[names[0]].rsm.submit((f"k{index}", index))
+        sim.run_until(sim.now + 3.0)
+        assert sorted(hosts[names[0]].rsm.state.items()) == sorted(
+            hosts[names[2]].rsm.state.items()
+        )
+        assert len(hosts[names[0]].rsm.state) == 20
+
+    def test_rejoiner_receives_state_transfer(self):
+        sim, hosts = _rsm_world(3)
+        names = sorted(hosts)
+        hosts[names[2]].daemon.crash()
+        sim.run_until(sim.now + 2.0)
+        for index in range(12):
+            hosts[names[0]].rsm.submit((f"k{index}", index))
+        sim.run_until(sim.now + 2.0)
+        hosts[names[2]].daemon.recover()
+        sim.run_until(sim.now + 2.0)
+        # rebuild the host's RSM membership (the daemon state is volatile)
+        hosts[names[2]].daemon.join("content-updates")
+        sim.run_until(sim.now + 4.0)
+        assert sorted(hosts[names[2]].rsm.state.items()) == sorted(
+            hosts[names[0]].rsm.state.items()
+        )
+
+    def test_submissions_after_transfer_apply_everywhere(self):
+        sim, hosts = _rsm_world(2)
+        names = sorted(hosts)
+        hosts[names[0]].rsm.submit(("a", 1))
+        sim.run_until(sim.now + 2.0)
+        hosts[names[1]].rsm.submit(("b", 2))
+        sim.run_until(sim.now + 2.0)
+        for name in names:
+            assert hosts[name].rsm.state == {"a": 1, "b": 2}
+
+
+class TestAvailabilityManager:
+    def test_evaluate_updates_policy(self):
+        cluster = make_vod_cluster()
+        manager = AvailabilityManager(cluster=cluster, target_loss=1e-4)
+        cluster.availability_manager = manager
+        # simulate an observed crash history: high rate
+        for t in (1.0, 2.0, 3.0, 4.0):
+            manager.record_crash(t)
+        cluster.run(5.0)
+        decision = manager.evaluate()
+        assert decision.num_backups >= 1
+        assert cluster.policy.num_backups == decision.num_backups
+
+    def test_low_failure_rate_needs_no_backups(self):
+        cluster = make_vod_cluster()
+        manager = AvailabilityManager(cluster=cluster, target_loss=0.5)
+        cluster.run(30.0)
+        decision = manager.evaluate()
+        assert decision.num_backups == 0
+
+    def test_spawn_needed_when_cluster_too_small(self):
+        cluster = make_vod_cluster(n_servers=2, replication=2)
+        manager = AvailabilityManager(
+            cluster=cluster, target_loss=1e-9, max_backups=4
+        )
+        for t in (0.5, 1.0, 1.5, 2.0, 2.5, 3.0):
+            manager.record_crash(t)
+        cluster.run(5.0)
+        decision = manager.evaluate()
+        assert decision.spawn_needed > 0
+
+    def test_periodic_evaluation(self):
+        cluster = make_vod_cluster()
+        manager = AvailabilityManager(cluster=cluster, target_loss=1e-3)
+        manager.start(period=2.0)
+        cluster.run(7.0)
+        assert len(manager.decisions) == 3
+
+    def test_injector_reports_crashes_to_manager(self):
+        from repro.faults.injector import inject
+        from repro.faults.schedule import FaultSchedule
+
+        cluster = make_vod_cluster()
+        manager = AvailabilityManager(cluster=cluster, target_loss=1e-3)
+        cluster.availability_manager = manager
+        inject(cluster, FaultSchedule().crash(1.0, "s1"))
+        cluster.run(2.0)
+        assert len(manager.crash_times) == 1
+
+    def test_new_sessions_pick_up_adjusted_policy(self):
+        cluster = make_vod_cluster(num_backups=0)
+        cluster.policy.num_backups = 2  # as the manager would
+        client = cluster.add_client("late")
+        handle = client.start_session("m0")
+        cluster.run(3.0)
+        primary = cluster.primaries_of(handle.session_id)[0]
+        record = cluster.servers[primary].unit_dbs["m0"].get(handle.session_id)
+        assert len(record.backups) == 2

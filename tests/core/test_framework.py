@@ -1,0 +1,252 @@
+"""Framework integration tests: the Section 3.3/3.4 behaviours."""
+
+import pytest
+
+from repro.core.wire import content_group, session_group
+from tests.core.conftest import make_vod_cluster, start_streaming_session
+
+
+# ---------------------------------------------------------------------------
+# discovery and session establishment
+# ---------------------------------------------------------------------------
+
+
+def test_client_discovers_catalog(vod_cluster):
+    client = vod_cluster.add_client("c0")
+    client.connect()
+    vod_cluster.run(1.0)
+    assert client.catalog == {"m0": "content:m0"}
+
+
+def test_session_starts_and_client_notified(streaming):
+    cluster, client, handle = streaming
+    assert handle.started
+    assert handle.primary_seen in cluster.servers
+
+
+def test_exactly_one_primary_selected(streaming):
+    cluster, client, handle = streaming
+    assert len(cluster.primaries_of(handle.session_id)) == 1
+
+
+def test_backups_join_session_group(streaming):
+    cluster, client, handle = streaming
+    backup_holders = [
+        sid
+        for sid, server in cluster.servers.items()
+        if handle.session_id in server.backup_sessions()
+    ]
+    assert len(backup_holders) == 1  # num_backups=1
+    primary = cluster.primaries_of(handle.session_id)[0]
+    group_members = cluster.servers[primary].daemon.members_of(
+        session_group(handle.session_id)
+    )
+    assert set(group_members) == {primary, *backup_holders}
+
+
+def test_responses_stream_to_client(streaming):
+    cluster, client, handle = streaming
+    assert len(handle.received) > 10
+    indices = handle.response_indices()
+    assert indices == sorted(indices)
+    assert indices[0] == 0
+
+
+def test_unit_databases_identical_across_replicas(streaming):
+    cluster, client, handle = streaming
+    cluster.run(1.0)
+    dbs = [
+        server.unit_dbs["m0"]
+        for server in cluster.servers.values()
+        if server.is_up()
+    ]
+    for other in dbs[1:]:
+        assert dbs[0].equals(other)
+
+
+def test_session_records_allocation_in_db(streaming):
+    cluster, client, handle = streaming
+    primary = cluster.primaries_of(handle.session_id)[0]
+    record = cluster.servers[primary].unit_dbs["m0"].get(handle.session_id)
+    assert record.primary == primary
+    assert len(record.backups) == 1
+
+
+def test_duplicate_start_session_is_ignored(vod_cluster):
+    client = vod_cluster.add_client("c0")
+    handle = client.start_session("m0")
+    # client retry through a second contact produces a duplicate multicast
+    from repro.core.wire import StartSession
+
+    client.gcs.mcast(
+        content_group("m0"),
+        StartSession(
+            client_id=client.client_id,
+            session_id=handle.session_id,
+            unit_id="m0",
+            params=None,
+        ),
+    )
+    vod_cluster.run(3.0)
+    assert len(vod_cluster.primaries_of(handle.session_id)) == 1
+
+
+# ---------------------------------------------------------------------------
+# context updates
+# ---------------------------------------------------------------------------
+
+
+def test_skip_update_moves_stream(streaming):
+    cluster, client, handle = streaming
+    client.send_update(handle, {"op": "skip", "to": 500})
+    cluster.run(2.0)
+    tail = handle.response_indices()[-5:]
+    assert all(index >= 500 for index in tail)
+
+
+def test_pause_and_resume(streaming):
+    cluster, client, handle = streaming
+    client.send_update(handle, {"op": "pause"})
+    cluster.run(1.0)
+    count_at_pause = len(handle.received)
+    cluster.run(2.0)
+    assert len(handle.received) <= count_at_pause + 1  # at most one in flight
+    client.send_update(handle, {"op": "resume"})
+    cluster.run(2.0)
+    assert len(handle.received) > count_at_pause + 5
+
+
+def test_rate_change(streaming):
+    cluster, client, handle = streaming
+    before = len(handle.received)
+    client.send_update(handle, {"op": "rate", "value": 40.0})
+    cluster.run(2.0)
+    received_after = len(handle.received) - before
+    assert received_after > 2.0 * 10 * 1.5  # noticeably faster than 10 fps
+
+
+def test_backup_records_updates(streaming):
+    cluster, client, handle = streaming
+    backup = next(
+        server
+        for server in cluster.servers.values()
+        if handle.session_id in server.backup_sessions()
+    )
+    client.send_update(handle, {"op": "skip", "to": 700})
+    cluster.run(1.0)
+    backup_ctx = backup.backups[handle.session_id]
+    assert backup_ctx.effective_update_counter >= 1
+
+
+def test_backup_freshness_invariant(streaming):
+    """Backups' knowledge of client updates >= unit database's (Section 3.1)."""
+    cluster, client, handle = streaming
+    for i in range(5):
+        client.send_update(handle, {"op": "skip", "to": 100 * (i + 1)})
+        cluster.run(0.4)
+    for server in cluster.servers.values():
+        if handle.session_id in server.backup_sessions():
+            backup_counter = server.backups[
+                handle.session_id
+            ].effective_update_counter
+            db_counter = (
+                server.unit_dbs["m0"].get(handle.session_id).snapshot.update_counter
+            )
+            assert backup_counter >= db_counter
+
+
+# ---------------------------------------------------------------------------
+# propagation
+# ---------------------------------------------------------------------------
+
+
+def test_propagation_updates_unit_db(streaming):
+    cluster, client, handle = streaming
+    cluster.run(2.0)
+    for server in cluster.servers.values():
+        snapshot = server.unit_dbs["m0"].get(handle.session_id).snapshot
+        assert snapshot.epoch >= 1
+        assert snapshot.response_counter > 0
+
+
+def test_propagation_snapshot_lags_bounded_by_period(streaming):
+    cluster, client, handle = streaming
+    cluster.run(2.0)
+    primary_id = cluster.primaries_of(handle.session_id)[0]
+    primary = cluster.servers[primary_id]
+    live = primary.primaries[handle.session_id].ctx
+    snapshot = primary.unit_dbs["m0"].get(handle.session_id).snapshot
+    # at 10 fps and 0.5 s period, the snapshot lags <= ~6 frames
+    lag = live.response_counter - snapshot.response_counter
+    assert 0 <= lag <= 8
+
+
+def test_propagation_period_respected(vod_cluster):
+    client, handle = start_streaming_session(vod_cluster, run=5.0)
+    primary_id = vod_cluster.primaries_of(handle.session_id)[0]
+    sent = vod_cluster.servers[primary_id].counters["propagations_sent"]
+    assert 6 <= sent <= 11  # about 5 s / 0.5 s, allowing start offset
+
+
+# ---------------------------------------------------------------------------
+# teardown
+# ---------------------------------------------------------------------------
+
+
+def test_end_session_cleans_up_everywhere(streaming):
+    cluster, client, handle = streaming
+    client.end_session(handle)
+    cluster.run(3.0)
+    assert cluster.primaries_of(handle.session_id) == []
+    for server in cluster.servers.values():
+        assert handle.session_id not in server.unit_dbs["m0"]
+        assert handle.session_id not in server.backup_sessions()
+
+
+def test_responses_stop_after_end(streaming):
+    cluster, client, handle = streaming
+    client.end_session(handle)
+    cluster.run(1.0)
+    count = len(handle.received)
+    cluster.run(3.0)
+    assert len(handle.received) <= count + 1
+
+
+def test_movie_completion_stops_stream(vod_cluster):
+    client = vod_cluster.add_client("c0")
+    handle = client.start_session("m0", params={"start": 1190})
+    vod_cluster.run(5.0)
+    indices = handle.response_indices()
+    assert max(indices) == 1199  # movie has 1200 frames
+    count = len(handle.received)
+    vod_cluster.run(2.0)
+    assert len(handle.received) == count
+
+
+# ---------------------------------------------------------------------------
+# load-balanced placement of many sessions
+# ---------------------------------------------------------------------------
+
+
+def test_sessions_spread_across_servers(vod_cluster):
+    handles = []
+    for i in range(9):
+        client = vod_cluster.add_client(f"c{i}")
+        handles.append(client.start_session("m0"))
+    vod_cluster.run(4.0)
+    primaries = [vod_cluster.primaries_of(h.session_id) for h in handles]
+    assert all(len(p) == 1 for p in primaries)
+    counts = {}
+    for (p,) in primaries:
+        counts[p] = counts.get(p, 0) + 1
+    assert max(counts.values()) - min(counts.values()) <= 2
+    assert len(counts) == 3
+
+
+def test_gcs_spec_holds_through_framework_run(streaming):
+    cluster, client, handle = streaming
+    client.send_update(handle, {"op": "skip", "to": 300})
+    cluster.run(2.0)
+    client.end_session(handle)
+    cluster.run(2.0)
+    cluster.monitor.check_all()

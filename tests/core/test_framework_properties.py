@@ -1,0 +1,142 @@
+"""Property-based framework tests: invariants under randomized schedules.
+
+Hypothesis drives random sequences of crashes, recoveries, client updates
+and waits against a VoD deployment, then checks the paper's design-goal
+invariants:
+
+* after stabilization there is exactly one primary per live session;
+* unit databases are identical across all members of the content view;
+* a backup's effective update counter is >= the unit database's (the
+  paper's freshness ordering);
+* the GCS spec monitor stays clean (total order, virtual synchrony, ...).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.core.conftest import make_vod_cluster
+
+N_SERVERS = 3
+
+action_strategy = st.one_of(
+    st.tuples(st.just("crash"), st.integers(min_value=0, max_value=N_SERVERS - 1)),
+    st.tuples(st.just("recover"), st.integers(min_value=0, max_value=N_SERVERS - 1)),
+    st.tuples(st.just("skip"), st.integers(min_value=0, max_value=1000)),
+    st.tuples(st.just("pause"), st.just(0)),
+    st.tuples(st.just("resume"), st.just(0)),
+    st.tuples(st.just("wait"), st.integers(min_value=1, max_value=30)),
+)
+
+
+def run_schedule(actions):
+    cluster = make_vod_cluster(
+        n_servers=N_SERVERS, replication=N_SERVERS, num_backups=1, frame_rate=5.0
+    )
+    client = cluster.add_client("c0")
+    handle = client.start_session("m0")
+    cluster.run(3.0)
+    for action, arg in actions:
+        if action == "crash":
+            cluster.servers[f"s{arg}"].crash()
+        elif action == "recover":
+            server = cluster.servers[f"s{arg}"]
+            if not server.is_up():
+                server.recover()
+        elif action == "skip":
+            client.send_update(handle, {"op": "skip", "to": arg})
+        elif action == "pause":
+            client.send_update(handle, {"op": "pause"})
+        elif action == "resume":
+            client.send_update(handle, {"op": "resume"})
+        elif action == "wait":
+            cluster.run(arg / 10.0)
+        cluster.run(0.05)
+    # stabilize: everyone back up, long settle
+    for server in cluster.servers.values():
+        if not server.is_up():
+            server.recover()
+    cluster.run(8.0)
+    return cluster, client, handle
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(action_strategy, min_size=1, max_size=8))
+def test_framework_invariants_after_stabilization(actions):
+    cluster, client, handle = run_schedule(actions)
+
+    # exactly one primary for the session (if it survived total loss)
+    primaries = cluster.primaries_of(handle.session_id)
+    session_known = any(
+        handle.session_id in server.unit_dbs["m0"]
+        for server in cluster.servers.values()
+    )
+    if session_known:
+        assert len(primaries) == 1, primaries
+    else:
+        assert primaries == []
+
+    # unit databases identical across live members
+    dbs = [
+        server.unit_dbs["m0"]
+        for server in cluster.servers.values()
+        if server.is_up()
+    ]
+    for other in dbs[1:]:
+        assert dbs[0].equals(other)
+
+    # backup freshness invariant
+    for server in cluster.servers.values():
+        if not server.is_up():
+            continue
+        for session_id in server.backup_sessions():
+            record = server.unit_dbs["m0"].get(session_id)
+            if record is None:
+                continue
+            assert (
+                server.backups[session_id].effective_update_counter
+                >= record.snapshot.update_counter
+            )
+
+    # GCS safety held throughout
+    cluster.monitor.check_all()
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=550), min_size=1, max_size=6
+    )
+)
+def test_last_skip_wins_after_stabilization(skips):
+    """Whatever interleaving of skips and faults, once stable the stream
+    position reflects the *last* skip (no context regression)."""
+    cluster = make_vod_cluster(
+        n_servers=3, replication=3, num_backups=1, frame_rate=5.0
+    )
+    client = cluster.add_client("c0")
+    handle = client.start_session("m0")
+    cluster.run(3.0)
+    for index, target in enumerate(skips):
+        client.send_update(handle, {"op": "skip", "to": target})
+        if index == len(skips) // 2:
+            primaries = cluster.primaries_of(handle.session_id)
+            if primaries:
+                cluster.servers[primaries[0]].crash()
+        cluster.run(0.4)
+    cluster.run(6.0)
+    tail = handle.response_indices()[-3:]
+    if tail:
+        # the position must reflect (at least) the last skip: the movie is
+        # 600 frames, skips stay <= 550, and streaming only advances
+        last = skips[-1]
+        assert tail[-1] >= last, (skips, tail)

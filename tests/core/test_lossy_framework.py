@@ -1,0 +1,66 @@
+"""The full framework over lossy links.
+
+Ordered traffic (updates, propagations, state exchange) is recovered by
+the GCS's retransmission machinery, so context is never lost to packet
+loss; responses ride plain point-to-point sends and lose roughly the loss
+rate of frames — exactly the UDP-like behaviour a real VoD service has.
+"""
+
+import pytest
+
+from repro.core import AvailabilityPolicy, ServiceCluster
+from repro.services import VodApplication, build_movie
+
+
+@pytest.fixture(scope="module")
+def lossy_cluster():
+    movie = build_movie("m0", duration_seconds=300, frame_rate=10)
+    cluster = ServiceCluster.build(
+        n_servers=3,
+        units={"m0": VodApplication({"m0": movie})},
+        replication=3,
+        policy=AvailabilityPolicy(num_backups=1, propagation_period=0.5),
+        seed=17,
+        loss_probability=0.05,
+        trace=False,
+    )
+    cluster.settle()
+    return cluster
+
+
+def test_session_establishes_despite_loss(lossy_cluster):
+    client = lossy_cluster.add_client("c0")
+    handle = client.start_session("m0")
+    lossy_cluster.run(5.0)
+    assert handle.started
+    assert len(lossy_cluster.primaries_of(handle.session_id)) == 1
+
+
+def test_updates_reliable_frames_lossy(lossy_cluster):
+    client = lossy_cluster.add_client("c1")
+    handle = client.start_session("m0")
+    lossy_cluster.run(4.0)
+    # context updates are carried by the GCS: reliable despite loss
+    client.send_update(handle, {"op": "skip", "to": 1500})
+    lossy_cluster.run(4.0)
+    indices = [r.index for r in handle.received if r.index >= 1500]
+    assert indices, "the skip must take effect despite packet loss"
+    # frames are point-to-point: expect ~5% of them missing
+    received = set(indices)
+    expected = set(range(1500, max(received) + 1))
+    loss_rate = 1 - len(received) / len(expected)
+    assert 0.0 <= loss_rate < 0.2
+
+
+def test_failover_under_loss(lossy_cluster):
+    client = lossy_cluster.add_client("c2")
+    handle = client.start_session("m0")
+    lossy_cluster.run(4.0)
+    victim = lossy_cluster.primaries_of(handle.session_id)[0]
+    lossy_cluster.crash_server(victim)
+    lossy_cluster.run(6.0)
+    survivors = lossy_cluster.primaries_of(handle.session_id)
+    assert len(survivors) == 1 and survivors[0] != victim
+    recent = [r for r in handle.received if r.time > lossy_cluster.sim.now - 2.0]
+    assert recent
+    lossy_cluster.monitor.check_all()

@@ -1,0 +1,85 @@
+"""Unit tests for the uncertainty policies and the availability policy."""
+
+import pytest
+
+from repro.core.config import AvailabilityPolicy
+from repro.core.responses import (
+    ResendAll,
+    SelectiveResend,
+    SkipUncertain,
+    mpeg_policy,
+)
+from repro.services.content import build_movie
+from repro.services.vod import VodApplication
+
+
+@pytest.fixture
+def vod():
+    movie = build_movie("m", duration_seconds=10, frame_rate=10)
+    return VodApplication({"m": movie})
+
+
+@pytest.fixture
+def state(vod):
+    return vod.initial_state("m", {})
+
+
+class TestResendAll:
+    def test_no_skip_no_presend(self, vod, state):
+        new_state, resend = ResendAll().resolve(vod, state, estimated_uncertain=7)
+        assert new_state.position == state.position
+        assert resend == []
+
+
+class TestSkipUncertain:
+    def test_advances_past_window(self, vod, state):
+        new_state, resend = SkipUncertain().resolve(vod, state, 7)
+        assert new_state.position == state.position + 7
+        assert resend == []
+
+    def test_zero_window_noop(self, vod, state):
+        new_state, _ = SkipUncertain().resolve(vod, state, 0)
+        assert new_state.position == state.position
+
+    def test_clamped_at_movie_end(self, vod, state):
+        new_state, _ = SkipUncertain().resolve(vod, state, 10_000)
+        assert new_state.position == vod.movie("m").n_frames
+
+
+class TestSelectiveResend:
+    def test_keeps_only_matching_classes(self, vod, state):
+        policy = SelectiveResend(keep=lambda r: r.klass == "I")
+        new_state, resend = policy.resolve(vod, state, 12)
+        # GOP "IBBPBBPBBPBB": one I frame per 12 frames
+        assert [r.klass for r in resend] == ["I"]
+        assert new_state.position == state.position + 12
+
+    def test_mpeg_policy_prefers_i_frames(self, vod, state):
+        new_state, resend = mpeg_policy().resolve(vod, state, 24)
+        assert all(r.klass == "I" for r in resend)
+        assert len(resend) == 2
+
+    def test_stops_at_stream_end(self, vod):
+        near_end = vod.advance(vod.initial_state("m", {}), 95)
+        policy = SelectiveResend(keep=lambda r: True)
+        new_state, resend = policy.resolve(vod, near_end, 50)
+        assert len(resend) == 5  # only 5 frames remained
+        assert vod.is_finished(new_state)
+
+
+class TestAvailabilityPolicy:
+    def test_defaults(self):
+        policy = AvailabilityPolicy()
+        assert policy.num_backups == 1
+        assert policy.propagation_period == 0.5
+        assert policy.session_group_size == 2
+
+    def test_no_backup_matches_vod_paper(self):
+        policy = AvailabilityPolicy(num_backups=0)
+        assert policy.session_group_size == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AvailabilityPolicy(num_backups=-1)
+        with pytest.raises(ValueError):
+            AvailabilityPolicy(propagation_period=0.0)

@@ -1,0 +1,82 @@
+"""Scale sanity: a larger deployment (8 servers, 3 units, 24 sessions)
+behaves correctly through a rolling restart."""
+
+import pytest
+
+from repro.core import AvailabilityPolicy, ServiceCluster
+from repro.services import VodApplication, build_movie
+
+
+@pytest.fixture(scope="module")
+def big_cluster():
+    movies = {
+        f"m{i}": build_movie(f"m{i}", duration_seconds=600, frame_rate=5)
+        for i in range(3)
+    }
+    app = VodApplication(movies)
+    cluster = ServiceCluster.build(
+        n_servers=8,
+        units={unit: app for unit in movies},
+        replication=4,
+        policy=AvailabilityPolicy(num_backups=1, propagation_period=0.5),
+        seed=33,
+        trace=False,
+    )
+    cluster.settle()
+    handles = []
+    for index in range(24):
+        client = cluster.add_client(f"c{index}")
+        handles.append(client.start_session(f"m{index % 3}"))
+    cluster.run(5.0)
+    return cluster, handles
+
+
+def test_partial_replication_placement(big_cluster):
+    cluster, handles = big_cluster
+    for unit, hosts in cluster.placement.items():
+        assert len(hosts) == 4
+    # not every server hosts every unit (partial replication, §2)
+    host_sets = {frozenset(hosts) for hosts in cluster.placement.values()}
+    assert len(host_sets) == 3
+
+
+def test_all_sessions_have_unique_primary(big_cluster):
+    cluster, handles = big_cluster
+    for handle in handles:
+        assert len(cluster.primaries_of(handle.session_id)) == 1
+
+
+def test_primaries_respect_placement(big_cluster):
+    cluster, handles = big_cluster
+    for handle in handles:
+        (primary,) = cluster.primaries_of(handle.session_id)
+        assert primary in cluster.hosts_of(handle.unit_id)
+
+
+def test_rolling_restart_preserves_all_sessions(big_cluster):
+    cluster, handles = big_cluster
+    for server_id in list(cluster.servers)[:4]:
+        cluster.crash_server(server_id)
+        cluster.run(3.0)
+        cluster.recover_server(server_id)
+        cluster.run(5.0)
+    for handle in handles:
+        primaries = cluster.primaries_of(handle.session_id)
+        assert len(primaries) == 1, (handle.session_id, primaries)
+    # streams kept flowing for everyone
+    for handle in handles:
+        recent = [r for r in handle.received if r.time > cluster.sim.now - 3.0]
+        assert recent, handle.session_id
+
+
+def test_dbs_consistent_per_unit_after_churn(big_cluster):
+    cluster, handles = big_cluster
+    cluster.run(2.0)
+    for unit, hosts in cluster.placement.items():
+        dbs = [
+            cluster.servers[h].unit_dbs[unit]
+            for h in hosts
+            if cluster.servers[h].is_up()
+        ]
+        for other in dbs[1:]:
+            assert dbs[0].equals(other), unit

@@ -1,0 +1,166 @@
+"""Unit tests for deterministic primary/backup selection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.context import ContextSnapshot
+from repro.core.selection import (
+    allocate_sessions,
+    jain_fairness,
+    select_for_session,
+)
+from repro.core.unit_db import UnitDatabase
+
+
+def snap():
+    return ContextSnapshot(app_state={}, stamped_at=0.0)
+
+
+def make_db(allocations):
+    """allocations: dict sid -> (primary, backups)"""
+    db = UnitDatabase("u")
+    for sid, (primary, backups) in allocations.items():
+        db.add_session(sid, f"client-{sid}", None, snap())
+        db.set_allocation(sid, primary, backups)
+    return db
+
+
+def record(primary, backups):
+    db = make_db({"s": (primary, tuple(backups))})
+    return db.get("s")
+
+
+class TestSelectForSession:
+    def test_prefers_surviving_primary(self):
+        rec = record("s1", ("s2",))
+        loads = {"s0": 0.0, "s1": 5.0, "s2": 0.0}
+        primary, backups = select_for_session(rec, ["s0", "s1", "s2"], 1, loads)
+        assert primary == "s1"  # kept despite heavy load
+
+    def test_falls_back_to_first_surviving_backup(self):
+        rec = record("dead", ("also-dead", "s2"))
+        loads = {"s0": 0.0, "s2": 9.0}
+        primary, _ = select_for_session(rec, ["s0", "s2"], 1, loads)
+        assert primary == "s2"
+
+    def test_falls_back_to_least_loaded(self):
+        rec = record("dead", ("dead2",))
+        loads = {"s0": 3.0, "s1": 1.0}
+        primary, _ = select_for_session(rec, ["s0", "s1"], 0, loads)
+        assert primary == "s1"
+
+    def test_backups_prefer_former_backups(self):
+        rec = record("s0", ("s1", "s2"))
+        loads = {"s0": 0.0, "s1": 9.0, "s2": 9.0, "s3": 0.0}
+        _, backups = select_for_session(rec, ["s0", "s1", "s2", "s3"], 2, loads)
+        assert backups == ("s1", "s2")
+
+    def test_backups_filled_from_least_loaded(self):
+        rec = record("s0", ())
+        loads = {"s0": 0.0, "s1": 2.0, "s2": 1.0}
+        _, backups = select_for_session(rec, ["s0", "s1", "s2"], 2, loads)
+        assert backups == ("s2", "s1")
+
+    def test_primary_never_doubles_as_backup(self):
+        rec = record("s0", ("s0",))
+        loads = {"s0": 0.0, "s1": 0.0}
+        primary, backups = select_for_session(rec, ["s0", "s1"], 1, loads)
+        assert primary == "s0"
+        assert "s0" not in backups
+
+    def test_backup_count_capped_by_membership(self):
+        rec = record("s0", ())
+        loads = {"s0": 0.0, "s1": 0.0}
+        _, backups = select_for_session(rec, ["s0", "s1"], 5, loads)
+        assert backups == ("s1",)
+
+    def test_empty_membership(self):
+        rec = record("s0", ())
+        assert select_for_session(rec, [], 1, {}) == (None, ())
+
+    def test_charges_loads(self):
+        rec = record(None, ())
+        loads = {"s0": 0.0, "s1": 0.0}
+        select_for_session(rec, ["s0", "s1"], 1, loads)
+        assert loads["s0"] == 1.0  # deterministic tie-break: s0 primary
+        assert loads["s1"] == 0.25
+
+
+class TestAllocateSessions:
+    def test_failure_mode_preserves_surviving_roles(self):
+        db = make_db(
+            {"a": ("s0", ("s1",)), "b": ("s1", ("s2",)), "c": ("s2", ("s0",))}
+        )
+        allocation = allocate_sessions(db, ["s0", "s1"], 1, rebalance=False)
+        assert allocation["a"][0] == "s0"
+        assert allocation["b"][0] == "s1"
+        assert allocation["c"][0] == "s0"  # former backup s0 takes over
+
+    def test_failure_mode_fills_missing_backups(self):
+        db = make_db({"a": ("s0", ("dead",))})
+        allocation = allocate_sessions(db, ["s0", "s1", "s2"], 1, rebalance=False)
+        primary, backups = allocation["a"]
+        assert primary == "s0"
+        assert len(backups) == 1 and backups[0] in ("s1", "s2")
+
+    def test_rebalance_spreads_sessions_evenly(self):
+        db = make_db({f"s{i:02d}": ("s0", ()) for i in range(12)})
+        allocation = allocate_sessions(
+            db, ["s0", "s1", "s2", "s3"], 0, rebalance=True
+        )
+        counts = {}
+        for primary, _ in allocation.values():
+            counts[primary] = counts.get(primary, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 1
+        assert set(counts) == {"s0", "s1", "s2", "s3"}
+
+    def test_rebalance_fairness_index_high(self):
+        db = make_db({f"x{i:03d}": (None, ()) for i in range(40)})
+        allocation = allocate_sessions(db, [f"s{i}" for i in range(5)], 1, True)
+        counts = {f"s{i}": 0.0 for i in range(5)}
+        for primary, _ in allocation.values():
+            counts[primary] += 1
+        assert jain_fairness(list(counts.values())) > 0.95
+
+    def test_empty_membership_unassigns(self):
+        db = make_db({"a": ("s0", ())})
+        allocation = allocate_sessions(db, [], 1, rebalance=False)
+        assert allocation["a"] == (None, ())
+
+    def test_deterministic_across_calls(self):
+        db = make_db({f"x{i}": (None, ()) for i in range(9)})
+        a1 = allocate_sessions(db, ["s0", "s1", "s2"], 2, rebalance=True)
+        a2 = allocate_sessions(db, ["s0", "s1", "s2"], 2, rebalance=True)
+        assert a1 == a2
+
+
+class TestJainFairness:
+    def test_perfectly_even(self):
+        assert jain_fairness([3, 3, 3]) == pytest.approx(1.0)
+
+    def test_single_server_hogging(self):
+        assert jain_fairness([9, 0, 0]) == pytest.approx(1 / 3)
+
+    def test_empty_and_zero(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0, 0]) == 1.0
+
+
+@given(
+    n_sessions=st.integers(min_value=0, max_value=30),
+    n_servers=st.integers(min_value=1, max_value=6),
+    n_backups=st.integers(min_value=0, max_value=3),
+)
+def test_allocation_invariants(n_sessions, n_servers, n_backups):
+    """For any population: every session gets a primary from the view,
+    backups are distinct from the primary, and sizes respect the policy."""
+    db = make_db({f"x{i:02d}": (None, ()) for i in range(n_sessions)})
+    members = [f"s{i}" for i in range(n_servers)]
+    allocation = allocate_sessions(db, members, n_backups, rebalance=True)
+    assert set(allocation) == set(db.session_ids())
+    for primary, backups in allocation.values():
+        assert primary in members
+        assert primary not in backups
+        assert len(backups) == min(n_backups, n_servers - 1)
+        assert len(set(backups)) == len(backups)

@@ -1,0 +1,93 @@
+"""Tests for dynamic server spawning and client session resumption."""
+
+import pytest
+
+from repro.core.manager import AvailabilityManager
+from tests.core.conftest import make_vod_cluster, start_streaming_session
+
+
+class TestSpawnServer:
+    def test_spawned_server_joins_and_serves(self):
+        cluster = make_vod_cluster(n_servers=2, replication=2)
+        client, handle = start_streaming_session(cluster)
+        new = cluster.spawn_server("s9")
+        cluster.run(8.0)
+        assert new.is_up()
+        # the newcomer merged into the single configuration
+        assert set(new.daemon.config.members) == {"s0", "s1", "s9"}
+        # and learned the session through the state exchange
+        assert handle.session_id in new.unit_dbs["m0"]
+
+    def test_spawned_server_takes_new_sessions(self):
+        cluster = make_vod_cluster(n_servers=2, replication=2)
+        handles = []
+        for index in range(4):
+            client = cluster.add_client(f"c{index}")
+            handles.append(client.start_session("m0"))
+        cluster.run(4.0)
+        cluster.spawn_server("s9")
+        cluster.run(8.0)
+        late = cluster.add_client("late")
+        late_handles = [late.start_session("m0") for _ in range(3)]
+        cluster.run(4.0)
+        primaries = set()
+        for handle in handles + late_handles:
+            primaries.update(cluster.primaries_of(handle.session_id))
+        assert "s9" in primaries  # the newcomer carries load
+
+    def test_existing_daemons_heartbeat_newcomer(self):
+        cluster = make_vod_cluster(n_servers=2, replication=2)
+        cluster.spawn_server("s9")
+        for server in cluster.servers.values():
+            assert "s9" in server.daemon.world
+
+    def test_duplicate_id_rejected(self):
+        cluster = make_vod_cluster()
+        with pytest.raises(ValueError):
+            cluster.spawn_server("s0")
+
+    def test_manager_auto_spawn(self):
+        cluster = make_vod_cluster(n_servers=2, replication=2)
+        manager = AvailabilityManager(
+            cluster=cluster, target_loss=1e-9, max_backups=4, auto_spawn=True
+        )
+        cluster.availability_manager = manager
+        for t in (0.5, 1.0, 1.5, 2.0, 2.5):
+            manager.record_crash(t)
+        cluster.run(3.0)
+        decision = manager.evaluate()
+        assert decision.spawn_needed > 0
+        assert len(manager.spawned) == decision.spawn_needed
+        cluster.run(6.0)
+        for server_id in manager.spawned:
+            assert cluster.servers[server_id].is_up()
+        cluster.monitor.check_all()
+
+
+class TestResumeSession:
+    def test_resume_after_total_loss(self):
+        cluster = make_vod_cluster(n_servers=2, replication=2)
+        client, handle = start_streaming_session(cluster)
+        last_seen = handle.received[-1].index
+        # total content loss: both replicas die and come back empty
+        cluster.crash_server("s0")
+        cluster.crash_server("s1")
+        cluster.run(3.0)
+        cluster.recover_server("s0")
+        cluster.recover_server("s1")
+        cluster.run(4.0)
+        assert cluster.primaries_of(handle.session_id) == []
+        # the client resumes near where it stopped
+        resumed = client.resume_session(handle, params={"start": last_seen + 1})
+        cluster.run(4.0)
+        assert resumed.started
+        assert resumed.resumed_from == handle.session_id
+        indices = [r.index for r in resumed.received]
+        assert indices and indices[0] == last_seen + 1
+
+    def test_resume_closes_old_handle(self):
+        cluster = make_vod_cluster()
+        client, handle = start_streaming_session(cluster)
+        resumed = client.resume_session(handle, params={"start": 0})
+        assert handle.ended_at is not None
+        assert resumed.session_id != handle.session_id

@@ -1,0 +1,125 @@
+"""Unit tests for the replicated unit database."""
+
+from repro.core.context import ContextSnapshot
+from repro.core.unit_db import UnitDatabase
+
+
+def snap(update_counter=0, epoch=0):
+    return ContextSnapshot(
+        app_state={}, update_counter=update_counter, epoch=epoch, stamped_at=0.0
+    )
+
+
+def make_db(n_sessions=3):
+    db = UnitDatabase("u0")
+    for i in range(n_sessions):
+        db.add_session(f"sess{i}", f"c{i}", None, snap())
+    return db
+
+
+def test_add_and_get():
+    db = make_db(1)
+    record = db.get("sess0")
+    assert record.client_id == "c0"
+    assert record.primary is None
+    assert "sess0" in db
+    assert len(db) == 1
+
+
+def test_remove_session_idempotent():
+    db = make_db(1)
+    db.remove_session("sess0")
+    db.remove_session("sess0")
+    assert len(db) == 0
+
+
+def test_session_ids_sorted():
+    db = UnitDatabase("u0")
+    for name in ("b", "a", "c"):
+        db.add_session(name, "c", None, snap())
+    assert db.session_ids() == ["a", "b", "c"]
+
+
+def test_set_allocation():
+    db = make_db(1)
+    db.set_allocation("sess0", "s1", ("s2", "s3"))
+    record = db.get("sess0")
+    assert record.primary == "s1"
+    assert record.backups == ("s2", "s3")
+
+
+def test_set_allocation_unknown_session_is_noop():
+    db = make_db(0)
+    db.set_allocation("ghost", "s1", ())
+
+
+def test_apply_propagation_fresher_wins():
+    db = make_db(1)
+    assert db.apply_propagation("sess0", snap(update_counter=5, epoch=1))
+    # update-poorer snapshots never overwrite, whatever their epoch
+    assert not db.apply_propagation("sess0", snap(update_counter=1, epoch=9))
+    assert db.get("sess0").snapshot.update_counter == 5
+
+
+def test_apply_propagation_unknown_session():
+    db = make_db(0)
+    assert not db.apply_propagation("ghost", snap(epoch=1))
+
+
+def test_load_of_counts_primaries_and_backups():
+    db = make_db(3)
+    db.set_allocation("sess0", "s0", ("s1",))
+    db.set_allocation("sess1", "s0", ("s2",))
+    db.set_allocation("sess2", "s1", ("s0",))
+    assert db.load_of("s0") == 2.25
+    assert db.load_of("s1") == 1.25
+    assert db.load_of("s2") == 0.25
+
+
+def test_sessions_of_primary():
+    db = make_db(2)
+    db.set_allocation("sess0", "s0", ())
+    db.set_allocation("sess1", "s1", ())
+    assert db.sessions_of_primary("s0") == ["sess0"]
+
+
+def test_merge_takes_freshest_record_per_session():
+    db_a = make_db(2)
+    db_a.apply_propagation("sess0", snap(epoch=5))
+    db_b = make_db(2)
+    db_b.apply_propagation("sess0", snap(epoch=3))
+    db_b.apply_propagation("sess1", snap(epoch=9))
+    merged = UnitDatabase.merge(
+        "u0", [db_a.snapshot_for_exchange(), db_b.snapshot_for_exchange()]
+    )
+    assert merged.get("sess0").snapshot.epoch == 5
+    assert merged.get("sess1").snapshot.epoch == 9
+
+
+def test_merge_unions_disjoint_sessions():
+    db_a = UnitDatabase("u0")
+    db_a.add_session("a", "ca", None, snap())
+    db_b = UnitDatabase("u0")
+    db_b.add_session("b", "cb", None, snap())
+    merged = UnitDatabase.merge(
+        "u0", [db_a.snapshot_for_exchange(), db_b.snapshot_for_exchange()]
+    )
+    assert merged.session_ids() == ["a", "b"]
+
+
+def test_merge_is_order_insensitive():
+    db_a = make_db(2)
+    db_a.apply_propagation("sess0", snap(epoch=5))
+    db_b = make_db(2)
+    dump_a, dump_b = db_a.snapshot_for_exchange(), db_b.snapshot_for_exchange()
+    m1 = UnitDatabase.merge("u0", [dump_a, dump_b])
+    m2 = UnitDatabase.merge("u0", [dump_b, dump_a])
+    assert m1.equals(m2)
+
+
+def test_equals_detects_differences():
+    db_a = make_db(1)
+    db_b = make_db(1)
+    assert db_a.equals(db_b)
+    db_b.set_allocation("sess0", "s9", ())
+    assert not db_a.equals(db_b)

@@ -1,0 +1,83 @@
+"""The framework over WAN latencies (Section 4's WAN discussion).
+
+WAN runs use the heavy-tailed latency model and GCS timeouts scaled so
+that jitter does not masquerade as failure.  These tests check that the
+whole stack — membership, ordering, session management, failover — still
+works when one-way delays are ~30 ms instead of ~0.3 ms.
+"""
+
+import pytest
+
+from repro.core import AvailabilityPolicy, ServiceCluster
+from repro.gcs.settings import GcsSettings
+from repro.services import VodApplication, build_movie
+
+
+def make_wan_cluster(n_servers=3, num_backups=1, seed=11):
+    movie = build_movie("m0", duration_seconds=300, frame_rate=10)
+    app = VodApplication({"m0": movie})
+    cluster = ServiceCluster.build(
+        n_servers=n_servers,
+        units={"m0": app},
+        replication=n_servers,
+        policy=AvailabilityPolicy(num_backups=num_backups, propagation_period=1.0),
+        settings=GcsSettings().scaled(5.0),
+        seed=seed,
+        latency="wan",
+    )
+    cluster.run(8.0)
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def wan_world():
+    cluster = make_wan_cluster()
+    client = cluster.add_client("c0")
+    handle = client.start_session("m0")
+    cluster.run(8.0)
+    return cluster, client, handle
+
+
+def test_membership_converges_over_wan():
+    cluster = make_wan_cluster()
+    views = {server.daemon.config.view_id for server in cluster.servers.values()}
+    assert len(views) == 1
+
+
+def test_session_streams_over_wan(wan_world):
+    cluster, client, handle = wan_world
+    assert handle.started
+    assert len(handle.received) > 20
+    indices = handle.response_indices()
+    assert indices == sorted(indices)
+
+
+def test_update_applies_over_wan():
+    cluster = make_wan_cluster(seed=12)
+    client = cluster.add_client("c0")
+    handle = client.start_session("m0")
+    cluster.run(8.0)
+    client.send_update(handle, {"op": "skip", "to": 2000})
+    cluster.run(5.0)
+    assert handle.response_indices()[-1] >= 2000
+
+
+def test_failover_over_wan():
+    cluster = make_wan_cluster(seed=13)
+    client = cluster.add_client("c0")
+    handle = client.start_session("m0")
+    cluster.run(8.0)
+    victim = cluster.primaries_of(handle.session_id)[0]
+    count = len(handle.received)
+    cluster.crash_server(victim)
+    cluster.run(15.0)
+    survivors = cluster.primaries_of(handle.session_id)
+    assert len(survivors) == 1 and survivors[0] != victim
+    assert len(handle.received) > count + 20
+    cluster.monitor.check_all()
+
+
+def test_scaled_settings_preserve_flags():
+    settings = GcsSettings(detect_divergence=False).scaled(10.0)
+    assert settings.heartbeat_interval == pytest.approx(1.0)
+    assert settings.detect_divergence is False

@@ -1,0 +1,109 @@
+"""Tests for the baselines package and the experiments' shared machinery."""
+
+import pytest
+
+from repro.baselines import full_sync_policy, no_backup_policy, single_server_cluster
+from repro.experiments.common import (
+    LedgerApplication,
+    ledger_cluster,
+    send_updates_periodically,
+    surviving_counters,
+)
+from repro.services import VodApplication, build_movie
+
+
+class TestBaselines:
+    def test_no_backup_policy_matches_vod_paper(self):
+        policy = no_backup_policy(propagation_period=0.5)
+        assert policy.num_backups == 0
+        assert policy.session_group_size == 1
+
+    def test_full_sync_period_matches_response_rate(self):
+        policy = full_sync_policy(response_rate=24.0)
+        assert policy.propagation_period == pytest.approx(1 / 24)
+
+    def test_full_sync_validation(self):
+        with pytest.raises(ValueError):
+            full_sync_policy(response_rate=0.0)
+
+    def test_single_server_cluster_serves(self):
+        movie = build_movie("m0", duration_seconds=60, frame_rate=10)
+        cluster = single_server_cluster({"m0": VodApplication({"m0": movie})})
+        cluster.settle()
+        client = cluster.add_client("c0")
+        handle = client.start_session("m0")
+        cluster.run(3.0)
+        assert handle.started
+        assert len(cluster.servers) == 1
+
+    def test_single_server_crash_is_total_outage(self):
+        movie = build_movie("m0", duration_seconds=60, frame_rate=10)
+        cluster = single_server_cluster({"m0": VodApplication({"m0": movie})})
+        cluster.settle()
+        client = cluster.add_client("c0")
+        handle = client.start_session("m0")
+        cluster.run(3.0)
+        cluster.crash_server("s0")
+        count = len(handle.received)
+        cluster.run(5.0)
+        assert len(handle.received) == count
+
+
+class TestLedgerApplication:
+    def test_updates_accumulate(self):
+        app = LedgerApplication()
+        state = app.initial_state("u", None)
+        state = app.apply_update(state, {"counter": 3})
+        state = app.apply_update(state, {"counter": 1})
+        assert state.counters == {1, 3}
+
+    def test_malformed_update_ignored(self):
+        app = LedgerApplication()
+        state = app.initial_state("u", None)
+        assert app.apply_update(state, {"op": "noise"}).counters == frozenset()
+
+    def test_no_streaming(self):
+        app = LedgerApplication()
+        state = app.initial_state("u", None)
+        assert app.response_interval(state) is None
+
+
+class TestSurvivingCounters:
+    def test_counts_primary_state(self):
+        cluster = ledger_cluster(
+            n_servers=3, num_backups=1, propagation_period=0.5, seed=9
+        )
+        client = cluster.add_client("c0")
+        handle = client.start_session("ledger-0")
+        cluster.run(2.0)
+        for counter in (1, 2, 3):
+            client.send_update(handle, {"counter": counter})
+        cluster.run(1.0)
+        assert surviving_counters(cluster, handle.session_id) == {1, 2, 3}
+
+    def test_survives_primary_crash_through_backup(self):
+        cluster = ledger_cluster(
+            n_servers=3, num_backups=1, propagation_period=5.0, seed=9
+        )
+        client = cluster.add_client("c0")
+        handle = client.start_session("ledger-0")
+        cluster.run(2.0)
+        client.send_update(handle, {"counter": 1})
+        cluster.run(0.3)
+        cluster.crash_server(cluster.primaries_of(handle.session_id)[0])
+        cluster.run(4.0)
+        assert 1 in surviving_counters(cluster, handle.session_id)
+
+    def test_send_updates_periodically_schedules_all(self):
+        cluster = ledger_cluster(
+            n_servers=2, num_backups=0, propagation_period=0.5, seed=9
+        )
+        client = cluster.add_client("c0")
+        handle = client.start_session("ledger-0")
+        cluster.run(2.0)
+        send_updates_periodically(
+            cluster, client, handle, period=0.2, duration=2.0,
+            make_update=lambda k: {"counter": k + 1},
+        )
+        cluster.run(3.0)
+        assert handle.update_counter == 10

@@ -1,0 +1,167 @@
+"""Unit tests for fault schedules, generators, and the injector."""
+
+import numpy as np
+import pytest
+
+from repro.faults.generators import (
+    crash_burst_schedule,
+    flapping_partition_schedule,
+    poisson_crash_schedule,
+)
+from repro.faults.injector import inject
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from tests.core.conftest import make_vod_cluster
+
+
+class TestSchedule:
+    def test_builder_methods(self):
+        schedule = (
+            FaultSchedule()
+            .crash(1.0, "s0")
+            .recover(2.0, "s0")
+            .partition(3.0, {"s0"}, {"s1"})
+            .heal(4.0)
+            .cut_link(5.0, "a", "b")
+            .restore_link(6.0, "a", "b")
+        )
+        assert len(schedule) == 6
+        kinds = [e.kind for e in schedule.sorted_events()]
+        assert kinds == [
+            "crash", "recover", "partition", "heal", "cut_link", "restore_link",
+        ]
+
+    def test_sorted_events(self):
+        schedule = FaultSchedule().crash(5.0, "b").crash(1.0, "a")
+        assert [e.time for e in schedule.sorted_events()] == [1.0, 5.0]
+
+    def test_crashes_filter(self):
+        schedule = FaultSchedule().crash(1.0, "a").recover(2.0, "a")
+        assert len(schedule.crashes()) == 1
+
+    def test_shifted(self):
+        schedule = FaultSchedule().crash(1.0, "a").shifted(10.0)
+        assert schedule.sorted_events()[0].time == 11.0
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind="meteor")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=-1.0, kind="crash")
+
+
+class TestGenerators:
+    def test_poisson_schedule_alternates_and_respects_spare(self):
+        rng = np.random.default_rng(1)
+        schedule = poisson_crash_schedule(
+            rng, ["s0", "s1", "s2"], duration=100.0,
+            failure_rate=0.1, mean_downtime=2.0, spare="s2",
+        )
+        per_server: dict[str, list[str]] = {}
+        for event in schedule.sorted_events():
+            per_server.setdefault(event.target, []).append(event.kind)
+        assert "s2" not in per_server
+        for kinds in per_server.values():
+            # strict alternation starting with a crash
+            assert kinds[0] == "crash"
+            for a, b in zip(kinds, kinds[1:]):
+                assert a != b
+
+    def test_poisson_zero_rate_empty(self):
+        rng = np.random.default_rng(1)
+        schedule = poisson_crash_schedule(
+            rng, ["s0"], duration=10.0, failure_rate=0.0
+        )
+        assert len(schedule) == 0
+
+    def test_poisson_deterministic_per_seed(self):
+        a = poisson_crash_schedule(
+            np.random.default_rng(7), ["s0", "s1"], 50.0, 0.1
+        )
+        b = poisson_crash_schedule(
+            np.random.default_rng(7), ["s0", "s1"], 50.0, 0.1
+        )
+        assert [
+            (e.time, e.kind, e.target) for e in a.sorted_events()
+        ] == [(e.time, e.kind, e.target) for e in b.sorted_events()]
+
+    def test_burst_size_and_window(self):
+        rng = np.random.default_rng(2)
+        schedule = crash_burst_schedule(
+            rng, ["s0", "s1", "s2", "s3"], at=5.0, burst_size=3,
+            stagger=0.1, recover_after=2.0,
+        )
+        crashes = schedule.crashes()
+        assert len(crashes) == 3
+        assert all(5.0 <= e.time <= 5.2 for e in crashes)
+        assert len([e for e in schedule.events if e.kind == "recover"]) == 3
+
+    def test_burst_capped_at_population(self):
+        rng = np.random.default_rng(2)
+        schedule = crash_burst_schedule(rng, ["s0"], at=1.0, burst_size=5)
+        assert len(schedule.crashes()) == 1
+
+    def test_flapping_partitions_alternate(self):
+        rng = np.random.default_rng(3)
+        schedule = flapping_partition_schedule(
+            rng, ["s0"], ["s1"], duration=100.0,
+            mean_stable=2.0, mean_partitioned=1.0,
+        )
+        kinds = [e.kind for e in schedule.sorted_events()]
+        assert kinds and kinds[0] == "partition"
+        for a, b in zip(kinds, kinds[1:]):
+            assert a != b
+
+
+class TestInjector:
+    def test_crash_and_recover_applied(self):
+        cluster = make_vod_cluster()
+        schedule = FaultSchedule().crash(1.0, "s1").recover(3.0, "s1")
+        inject(cluster, schedule)
+        cluster.run(2.0)
+        assert not cluster.servers["s1"].is_up()
+        cluster.run(2.0)
+        assert cluster.servers["s1"].is_up()
+
+    def test_partition_and_heal_applied(self):
+        cluster = make_vod_cluster()
+        schedule = FaultSchedule().partition(1.0, {"s0"}, {"s1", "s2"}).heal(3.0)
+        inject(cluster, schedule)
+        cluster.run(2.0)
+        assert not cluster.network.topology.connected("s0", "s1")
+        cluster.run(2.0)
+        assert cluster.network.topology.connected("s0", "s1")
+
+    def test_cut_and_restore_link(self):
+        cluster = make_vod_cluster()
+        schedule = (
+            FaultSchedule().cut_link(1.0, "s0", "s1").restore_link(2.0, "s0", "s1")
+        )
+        inject(cluster, schedule)
+        cluster.run(1.5)
+        assert not cluster.network.topology.connected("s0", "s1")
+        cluster.run(1.0)
+        assert cluster.network.topology.connected("s0", "s1")
+
+    def test_offset_defaults_to_now(self):
+        cluster = make_vod_cluster()
+        cluster.run(5.0)
+        schedule = FaultSchedule().crash(1.0, "s0")
+        inject(cluster, schedule)
+        cluster.run(0.5)
+        assert cluster.servers["s0"].is_up()
+        cluster.run(1.0)
+        assert not cluster.servers["s0"].is_up()
+
+    def test_redundant_events_harmless(self):
+        cluster = make_vod_cluster()
+        schedule = FaultSchedule().crash(1.0, "s0").crash(1.5, "s0")
+        inject(cluster, schedule)
+        cluster.run(2.0)
+        assert not cluster.servers["s0"].is_up()
+
+    def test_unknown_server_ignored(self):
+        cluster = make_vod_cluster()
+        inject(cluster, FaultSchedule().crash(1.0, "ghost"))
+        cluster.run(2.0)  # should not raise

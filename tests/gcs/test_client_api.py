@@ -1,0 +1,119 @@
+"""Client (open-group) access layer tests."""
+
+from tests.gcs.conftest import GcsWorld
+
+
+def make_world_with_group():
+    world = GcsWorld(3)
+    world.settle()
+    for node in ("s0", "s1", "s2"):
+        world.daemons[node].join("g")
+    world.run(1.0)
+    return world
+
+
+def test_client_mcast_reaches_group_members():
+    world = make_world_with_group()
+    client, _ = world.add_client("c0")
+    client.mcast("g", {"op": "start"})
+    world.run(1.0)
+    for node in ("s0", "s1", "s2"):
+        assert world.apps[node].payloads("g") == [{"op": "start"}]
+
+
+def test_client_is_not_a_group_member():
+    world = make_world_with_group()
+    client, app = world.add_client("c0")
+    client.mcast("g", "x")
+    world.run(1.0)
+    assert app.ptp == []  # ordered multicasts do not come back to clients
+
+
+def test_client_messages_are_fifo():
+    world = make_world_with_group()
+    client, _ = world.add_client("c0")
+    for i in range(15):
+        client.mcast("g", i)
+    world.run(2.0)
+    assert world.apps["s1"].payloads("g") == list(range(15))
+
+
+def test_client_rotates_contact_when_first_is_dead():
+    world = make_world_with_group()
+    world.daemons["s0"].crash()
+    world.settle()
+    client, app = world.add_client("c0", contacts=["s0", "s1", "s2"])
+    client.mcast("g", "retry-me")
+    world.run(3.0)
+    assert world.apps["s1"].payloads("g") == ["retry-me"]
+    assert world.apps["s2"].payloads("g") == ["retry-me"]
+    assert app.failed == []
+    assert client.unacked_count == 0
+
+
+def test_client_retry_does_not_duplicate_delivery():
+    """A slow ack (dead first contact) forces a retransmit through another
+    contact; the duplicate filter must keep delivery single."""
+    world = make_world_with_group()
+    client, _ = world.add_client("c0", contacts=["s1", "s2"])
+    # Cut the client->s1 link just for the first transmission window.
+    world.network.topology.cut_link("c0", "s1")
+    client.mcast("g", "once")
+    world.run(0.5)
+    world.network.topology.restore_link("c0", "s1")
+    world.run(3.0)
+    for node in ("s0", "s1", "s2"):
+        assert world.apps[node].payloads("g") == ["once"]
+    world.check_spec()
+
+
+def test_client_send_failed_after_all_contacts_unreachable():
+    world = make_world_with_group()
+    client, app = world.add_client("c0")
+    world.network.topology.partition({"c0"}, {"s0", "s1", "s2"})
+    client.mcast("g", "void")
+    world.run(60.0)
+    assert app.failed == [("g", "void")]
+    assert client.sends_failed == 1
+
+
+def test_server_response_ptp_to_client():
+    world = make_world_with_group()
+    client, app = world.add_client("c0")
+    world.daemons["s0"].send_ptp("c0", {"frame": 1})
+    world.run(0.5)
+    assert app.ptp == [("s0", {"frame": 1})]
+
+
+def test_two_clients_interleave_in_total_order():
+    world = make_world_with_group()
+    c0, _ = world.add_client("c0")
+    c1, _ = world.add_client("c1")
+    for i in range(5):
+        c0.mcast("g", ("c0", i))
+        c1.mcast("g", ("c1", i))
+    world.run(2.0)
+    seqs = [world.apps[n].payloads("g") for n in ("s0", "s1", "s2")]
+    assert seqs[0] == seqs[1] == seqs[2]
+    assert len(seqs[0]) == 10
+
+
+def test_client_requires_contacts():
+    import pytest
+
+    from repro.gcs.client_api import GcsClient
+
+    world = GcsWorld(1)
+    with pytest.raises(ValueError):
+        GcsClient("c0", world.network, contacts=[])
+
+
+def test_crashed_client_stops_retrying():
+    world = make_world_with_group()
+    client, app = world.add_client("c0")
+    world.network.topology.partition({"c0"}, {"s0", "s1", "s2"})
+    client.mcast("g", "void")
+    world.run(0.3)
+    client.crash()
+    world.run(30.0)
+    assert app.failed == []  # crashed before exhausting retries

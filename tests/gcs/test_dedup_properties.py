@@ -1,0 +1,116 @@
+"""Property tests for the SACK-style duplicate filter and the membership
+event guard — the out-of-order retransmission hazards of DESIGN.md §6."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gcs.messages import RequestId
+from repro.gcs.ordering import DuplicateFilter
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=60), min_size=1, max_size=120
+    )
+)
+def test_filter_semantics_match_a_plain_set(deliveries):
+    """For any delivery order (duplicates, gaps, out-of-order), the filter
+    must behave exactly like a delivered-set: accept first occurrences,
+    reject repeats."""
+    f = DuplicateFilter()
+    reference: set[int] = set()
+    for counter in deliveries:
+        rid = RequestId("origin", 0, counter)
+        expected_dup = counter in reference
+        assert f.is_duplicate(rid) == expected_dup
+        if not expected_dup:
+            f.mark_delivered(rid)
+            reference.add(counter)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=40), max_size=60),
+    st.lists(st.integers(min_value=0, max_value=40), max_size=60),
+)
+def test_merge_equals_union(deliveries_a, deliveries_b):
+    """Merging two filters' snapshots yields exactly the union of their
+    delivered sets."""
+    fa, fb = DuplicateFilter(), DuplicateFilter()
+    for counter in deliveries_a:
+        fa.mark_delivered(RequestId("x", 0, counter))
+    for counter in deliveries_b:
+        fb.mark_delivered(RequestId("x", 0, counter))
+    merged = DuplicateFilter()
+    merged.merge(fa.snapshot())
+    merged.merge(fb.snapshot())
+    union = set(deliveries_a) | set(deliveries_b)
+    for counter in range(45):
+        rid = RequestId("x", 0, counter)
+        assert merged.is_duplicate(rid) == (counter in union), counter
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=40), max_size=50),
+    st.lists(st.integers(min_value=0, max_value=40), max_size=50),
+)
+def test_merge_snapshots_commutative(a, b):
+    fa, fb = DuplicateFilter(), DuplicateFilter()
+    for c in a:
+        fa.mark_delivered(RequestId("x", 0, c))
+    for c in b:
+        fb.mark_delivered(RequestId("x", 0, c))
+    ab = DuplicateFilter.merge_snapshots([fa.snapshot(), fb.snapshot()])
+    ba = DuplicateFilter.merge_snapshots([fb.snapshot(), fa.snapshot()])
+    assert ab == ba
+
+
+def test_snapshot_roundtrip():
+    f = DuplicateFilter()
+    for counter in (0, 1, 5, 7):
+        f.mark_delivered(RequestId("x", 0, counter))
+    g = DuplicateFilter()
+    g.merge(f.snapshot())
+    for counter in range(10):
+        rid = RequestId("x", 0, counter)
+        assert g.is_duplicate(rid) == f.is_duplicate(rid)
+
+
+class TestMembershipEventGuard:
+    """A late retransmitted join must never undo a newer leave."""
+
+    def test_stale_join_after_leave_ignored(self):
+        from tests.gcs.conftest import GcsWorld
+        from repro.gcs.messages import RequestId
+
+        world = GcsWorld(2)
+        world.settle()
+        daemon = world.daemons["s0"]
+        # simulate ordered delivery: join (counter 10), leave (counter 11),
+        # then the join again as a late retransmission
+        daemon._apply_membership_event(
+            ("join", "g", "s0"), 1, RequestId("s0", 0, 10)
+        )
+        assert "s0" in daemon.group_map.members("g")
+        daemon._apply_membership_event(
+            ("leave", "g", "s0"), 2, RequestId("s0", 0, 11)
+        )
+        assert "s0" not in daemon.group_map.members("g")
+        daemon._apply_membership_event(
+            ("join", "g", "s0"), 3, RequestId("s0", 0, 10)
+        )
+        assert "s0" not in daemon.group_map.members("g")  # stale, ignored
+
+    def test_new_incarnation_not_blocked(self):
+        from tests.gcs.conftest import GcsWorld
+        from repro.gcs.messages import RequestId
+
+        world = GcsWorld(2)
+        world.settle()
+        daemon = world.daemons["s0"]
+        daemon._apply_membership_event(
+            ("leave", "g", "s0"), 1, RequestId("s0", 0, 99)
+        )
+        daemon._apply_membership_event(
+            ("join", "g", "s0"), 2, RequestId("s0", 1, 0)  # restarted node
+        )
+        assert "s0" in daemon.group_map.members("g")

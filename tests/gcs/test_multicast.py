@@ -1,0 +1,184 @@
+"""Totally ordered multicast and group layer tests."""
+
+from tests.gcs.conftest import GcsWorld
+
+
+def joined(world, group, *nodes):
+    for node in nodes:
+        world.daemons[node].join(group)
+    world.run(1.0)
+
+
+def test_join_creates_group_view(world3):
+    joined(world3, "g", "s0", "s1")
+    view = world3.daemons["s0"].group_view("g")
+    assert set(view.members) == {"s0", "s1"}
+    assert world3.apps["s0"].last_view("g") is not None
+    assert set(world3.apps["s0"].last_view("g").members) == {"s0", "s1"}
+
+
+def test_group_views_consistent_across_members(world3):
+    joined(world3, "g", "s0", "s1", "s2")
+    views = {
+        tuple(world3.daemons[n].group_view("g").members) for n in ("s0", "s1", "s2")
+    }
+    assert views == {("s0", "s1", "s2")}
+
+
+def test_members_receive_multicast(world3):
+    joined(world3, "g", "s0", "s1")
+    world3.daemons["s0"].mcast("g", "hello")
+    world3.run(1.0)
+    assert world3.apps["s0"].payloads("g") == ["hello"]
+    assert world3.apps["s1"].payloads("g") == ["hello"]
+    assert world3.apps["s2"].payloads("g") == []  # not a member
+
+
+def test_open_group_send_from_non_member(world3):
+    joined(world3, "g", "s1", "s2")
+    world3.daemons["s0"].mcast("g", "from-outside")
+    world3.run(1.0)
+    assert world3.apps["s1"].payloads("g") == ["from-outside"]
+    assert world3.apps["s2"].payloads("g") == ["from-outside"]
+    assert world3.apps["s0"].payloads("g") == []
+
+
+def test_total_order_across_senders(world3):
+    joined(world3, "g", "s0", "s1", "s2")
+    for i in range(10):
+        world3.daemons["s0"].mcast("g", f"a{i}")
+        world3.daemons["s1"].mcast("g", f"b{i}")
+        world3.daemons["s2"].mcast("g", f"c{i}")
+    world3.run(2.0)
+    sequences = [world3.apps[n].payloads("g") for n in ("s0", "s1", "s2")]
+    assert sequences[0] == sequences[1] == sequences[2]
+    assert len(sequences[0]) == 30
+    world3.check_spec()
+
+
+def test_per_sender_fifo_order(world3):
+    joined(world3, "g", "s0", "s1")
+    for i in range(20):
+        world3.daemons["s1"].mcast("g", i)
+    world3.run(2.0)
+    received = world3.apps["s0"].payloads("g")
+    assert received == list(range(20))
+
+
+def test_total_order_across_groups_single_sequence(world3):
+    """One total order spans all groups (gives cross-group causality)."""
+    joined(world3, "g1", "s0", "s1")
+    joined(world3, "g2", "s0", "s1")
+    for i in range(5):
+        world3.daemons["s0"].mcast("g1", ("g1", i))
+        world3.daemons["s0"].mcast("g2", ("g2", i))
+    world3.run(2.0)
+    inter0 = world3.apps["s0"].payloads()
+    inter1 = world3.apps["s1"].payloads()
+    assert inter0 == inter1
+    world3.check_spec()
+
+
+def test_leave_stops_delivery(world3):
+    joined(world3, "g", "s0", "s1")
+    world3.daemons["s1"].leave("g")
+    world3.run(1.0)
+    world3.daemons["s0"].mcast("g", "after-leave")
+    world3.run(1.0)
+    assert "after-leave" in world3.apps["s0"].payloads("g")
+    assert "after-leave" not in world3.apps["s1"].payloads("g")
+    view = world3.daemons["s0"].group_view("g")
+    assert set(view.members) == {"s0"}
+
+
+def test_messages_before_crash_delivered_to_survivors(world3):
+    joined(world3, "g", "s0", "s1", "s2")
+    world3.daemons["s1"].mcast("g", "pre-crash")
+    world3.run(1.0)
+    world3.daemons["s1"].crash()
+    world3.settle()
+    assert "pre-crash" in world3.apps["s0"].payloads("g")
+    assert "pre-crash" in world3.apps["s2"].payloads("g")
+    world3.check_spec()
+
+
+def test_crash_triggers_new_group_view_without_failed_member(world3):
+    joined(world3, "g", "s0", "s1", "s2")
+    world3.daemons["s2"].crash()
+    world3.settle()
+    view = world3.apps["s0"].last_view("g")
+    assert set(view.members) == {"s0", "s1"}
+
+
+def test_multicast_delivered_exactly_once_despite_view_change(world3):
+    """A burst of messages racing a crash is delivered exactly once to the
+    surviving members that move together (virtual synchrony + dedup)."""
+    joined(world3, "g", "s0", "s1", "s2")
+    for i in range(20):
+        world3.daemons["s1"].mcast("g", i)
+    world3.daemons["s2"].crash()
+    world3.settle()
+    received = world3.apps["s0"].payloads("g")
+    assert received == sorted(set(received)), "duplicates or reordering"
+    world3.check_spec()
+
+
+def test_virtual_synchrony_on_sequencer_crash(world3):
+    """Messages in flight when the sequencer dies are either delivered to
+    all survivors moving together or to none (and unsequenced ones are
+    re-sequenced by the flush)."""
+    joined(world3, "g", "s0", "s1", "s2")
+    for i in range(10):
+        world3.daemons["s1"].mcast("g", f"m{i}")
+    world3.daemons["s0"].crash()  # s0 is the sequencer
+    world3.settle()
+    a = world3.apps["s1"].payloads("g")
+    b = world3.apps["s2"].payloads("g")
+    # survivors must agree entirely (they transitioned together)
+    assert a == b
+    # nothing may be lost: s1 survived and resubmits unsequenced requests
+    assert set(f"m{i}" for i in range(10)) <= set(a)
+    world3.check_spec()
+
+
+def test_group_survives_partition_and_merge(world5):
+    joined(world5, "g", "s0", "s1", "s3")
+    world5.network.topology.partition({"s0", "s1"}, {"s2", "s3", "s4"})
+    world5.settle()
+    va = world5.daemons["s0"].group_view("g")
+    vb = world5.daemons["s3"].group_view("g")
+    assert set(va.members) == {"s0", "s1"}
+    assert set(vb.members) == {"s3"}
+    # each side can keep multicasting within its component
+    world5.daemons["s0"].mcast("g", "side-a")
+    world5.daemons["s3"].mcast("g", "side-b")
+    world5.run(1.0)
+    assert "side-a" in world5.apps["s1"].payloads("g")
+    assert "side-b" in world5.apps["s3"].payloads("g")
+    world5.network.topology.heal_partition()
+    world5.settle()
+    vm = world5.daemons["s4"].group_view("g")
+    assert set(vm.members) == {"s0", "s1", "s3"}
+    world5.check_spec()
+
+
+def test_rejoin_after_recovery_requires_explicit_join(world3):
+    joined(world3, "g", "s0", "s1")
+    world3.daemons["s1"].crash()
+    world3.settle()
+    world3.daemons["s1"].recover()
+    world3.settle()
+    # memberships are volatile: after recovery s1 is not in g
+    view = world3.daemons["s0"].group_view("g")
+    assert set(view.members) == {"s0"}
+    world3.daemons["s1"].join("g")
+    world3.run(1.0)
+    view = world3.daemons["s0"].group_view("g")
+    assert set(view.members) == {"s0", "s1"}
+
+
+def test_ptp_bypasses_total_order(world3):
+    world3.daemons["s0"].send_ptp("s1", {"direct": True})
+    world3.run(0.5)
+    assert world3.apps["s1"].ptp == [("s0", {"direct": True})]
+    assert world3.apps["s1"].messages == []

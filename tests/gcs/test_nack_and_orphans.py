@@ -1,0 +1,126 @@
+"""Unit tests for NACK retransmission plumbing and orphan-at-new-view
+delivery — the machinery added for lossy links (DESIGN.md §6)."""
+
+from repro.gcs.messages import NackSeqs, OrderRequest, RequestId, Sequenced
+from repro.gcs.ordering import HoldbackBuffer
+from repro.gcs.view import ViewId
+from tests.gcs.conftest import GcsWorld
+
+VID = ViewId(3, "s0")
+
+
+def req(counter, payload=None):
+    return OrderRequest(
+        request_id=RequestId("x", 0, counter), group="g",
+        payload=payload if payload is not None else counter,
+    )
+
+
+def seqd(seq, counter):
+    return Sequenced(config_view_id=VID, seq=seq, request=req(counter))
+
+
+class TestMissingSeqs:
+    def test_no_gap(self):
+        buf = HoldbackBuffer()
+        for seq in range(3):
+            buf.insert(seqd(seq, seq))
+        buf.take_ready()
+        assert buf.missing_seqs() == []
+
+    def test_single_gap(self):
+        buf = HoldbackBuffer()
+        buf.insert(seqd(0, 0))
+        buf.insert(seqd(2, 2))
+        buf.take_ready()
+        assert buf.missing_seqs() == [1]
+
+    def test_multiple_gaps_limited(self):
+        buf = HoldbackBuffer()
+        buf.insert(seqd(10, 10))
+        assert buf.missing_seqs(limit=4) == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert HoldbackBuffer().missing_seqs() == []
+
+    def test_get(self):
+        buf = HoldbackBuffer()
+        message = seqd(5, 5)
+        buf.insert(message)
+        assert buf.get(5) is message
+        assert buf.get(4) is None
+
+
+class TestNackHandling:
+    def test_sequencer_retransmits_on_nack(self):
+        world = GcsWorld(3)
+        world.settle()
+        for node in world.daemon_ids:
+            world.daemons[node].join("g")
+        world.run(1.0)
+        world.daemons["s1"].mcast("g", "hello")
+        world.run(1.0)
+        sequencer = world.daemons["s0"]
+        assert sequencer.config.sequencer == "s0"
+        # simulate s2 reporting a gap it actually has no gap for: the
+        # sequencer resends whatever it holds for those seqs
+        held = sorted(sequencer.holdback.all_received())
+        before = world.network.sent_count("s0", "gcs.sequenced")
+        sequencer._on_nack_seqs(
+            NackSeqs(
+                config_view_id=sequencer.config.view_id,
+                seqs=tuple(held[:2]),
+            ),
+            sender="s2",
+        )
+        world.run(0.5)
+        after = world.network.sent_count("s0", "gcs.sequenced")
+        assert after == before + min(2, len(held))
+
+    def test_non_sequencer_ignores_nack(self):
+        world = GcsWorld(2)
+        world.settle()
+        follower = world.daemons["s1"]
+        before = world.network.sent_count("s1", "gcs.sequenced")
+        follower._on_nack_seqs(
+            NackSeqs(config_view_id=follower.config.view_id, seqs=(0,)),
+            sender="s0",
+        )
+        world.run(0.5)
+        assert world.network.sent_count("s1", "gcs.sequenced") == before
+
+    def test_stale_view_nack_ignored(self):
+        world = GcsWorld(2)
+        world.settle()
+        sequencer = world.daemons["s0"]
+        before = world.network.sent_count("s0", "gcs.sequenced")
+        sequencer._on_nack_seqs(
+            NackSeqs(config_view_id=ViewId(999, "zz"), seqs=(0,)), sender="s1"
+        )
+        world.run(0.5)
+        assert world.network.sent_count("s0", "gcs.sequenced") == before
+
+
+class TestOrphanDeliveryAtNewView:
+    def test_unsequenced_requests_survive_sequencer_crash(self):
+        """Messages whose sequencing died with the sequencer are delivered
+        at the head of the next configuration — with fresh sequence
+        numbers, never reusing the old configuration's."""
+        world = GcsWorld(3)
+        world.settle()
+        for node in world.daemon_ids:
+            world.daemons[node].join("g")
+        world.run(1.0)
+        # cut the sequencer off right before it can sequence, so the
+        # requests stay unsequenced at their origins
+        world.network.topology.set_node_down("s0", True)
+        world.daemons["s1"].mcast("g", "orphan-1")
+        world.daemons["s2"].mcast("g", "orphan-2")
+        world.run(0.1)
+        world.daemons["s0"].crash()
+        world.network.topology.set_node_down("s0", False)
+        world.settle()
+        for node in ("s1", "s2"):
+            payloads = world.apps[node].payloads("g")
+            assert "orphan-1" in payloads and "orphan-2" in payloads, node
+        world.check_spec()

@@ -1,0 +1,199 @@
+"""Property-based tests: GCS safety under randomized schedules.
+
+Hypothesis drives randomized interleavings of multicasts, crashes,
+recoveries, partitions, and heals; after every schedule the spec monitor
+checks total order, virtual synchrony, at-most-once delivery, view
+monotonicity and self-inclusion.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.gcs.ordering import DuplicateFilter, HoldbackBuffer, flush_union
+from repro.gcs.messages import OrderRequest, RequestId, Sequenced
+from repro.gcs.view import ViewId
+from tests.gcs.conftest import GcsWorld
+
+
+# ---------------------------------------------------------------------------
+# randomized end-to-end schedules
+# ---------------------------------------------------------------------------
+
+N_DAEMONS = 4
+
+action_strategy = st.one_of(
+    st.tuples(
+        st.just("mcast"),
+        st.integers(min_value=0, max_value=N_DAEMONS - 1),
+    ),
+    st.tuples(
+        st.just("crash"),
+        st.integers(min_value=0, max_value=N_DAEMONS - 1),
+    ),
+    st.tuples(
+        st.just("recover"),
+        st.integers(min_value=0, max_value=N_DAEMONS - 1),
+    ),
+    st.tuples(
+        st.just("partition"),
+        st.integers(min_value=1, max_value=N_DAEMONS - 1),
+    ),
+    st.tuples(st.just("heal"), st.just(0)),
+    st.tuples(
+        st.just("wait"),
+        st.integers(min_value=1, max_value=20),  # tenths of seconds
+    ),
+)
+
+
+def run_schedule(actions):
+    world = GcsWorld(N_DAEMONS)
+    world.settle()
+    for node in world.daemon_ids:
+        world.daemons[node].join("g")
+    world.run(1.0)
+    payload = 0
+    for action, arg in actions:
+        if action == "mcast":
+            daemon = world.daemons[f"s{arg}"]
+            if daemon.is_up():
+                daemon.mcast("g", payload)
+                payload += 1
+        elif action == "crash":
+            world.daemons[f"s{arg}"].crash()
+        elif action == "recover":
+            daemon = world.daemons[f"s{arg}"]
+            if not daemon.is_up():
+                daemon.recover()
+                daemon.join("g")
+        elif action == "partition":
+            left = {f"s{i}" for i in range(arg)}
+            right = {f"s{i}" for i in range(arg, N_DAEMONS)}
+            world.network.topology.partition(left, right)
+        elif action == "heal":
+            world.network.topology.heal_partition()
+        elif action == "wait":
+            world.run(arg / 10.0)
+        world.run(0.05)
+    world.network.topology.heal_partition()
+    for node in world.daemon_ids:
+        if not world.daemons[node].is_up():
+            world.daemons[node].recover()
+    world.run(6.0)
+    return world
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(action_strategy, min_size=1, max_size=12))
+def test_gcs_safety_under_random_schedules(actions):
+    world = run_schedule(actions)
+    world.check_spec()
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.lists(action_strategy, min_size=1, max_size=12))
+def test_gcs_converges_after_stabilization(actions):
+    """After every schedule ends (faults healed, everyone recovered), all
+    daemons agree on one configuration containing everyone — the paper's
+    'precise views in times of stability'."""
+    world = run_schedule(actions)
+    world.run(6.0)
+    world.assert_single_view(expected_members=set(world.daemon_ids))
+
+
+# ---------------------------------------------------------------------------
+# component-level properties
+# ---------------------------------------------------------------------------
+
+VID = ViewId(1, "s0")
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), max_size=80))
+def test_holdback_delivers_contiguous_prefix(seqs):
+    buf = HoldbackBuffer()
+    for seq in seqs:
+        request = OrderRequest(RequestId("a", 0, seq), "g", seq)
+        buf.insert(Sequenced(VID, seq, request))
+    delivered = buf.take_ready()
+    expected = 0
+    while expected in set(seqs):
+        expected += 1
+    assert [m.seq for m in delivered] == list(range(expected))
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("abc"), st.integers(min_value=0, max_value=30)),
+        max_size=60,
+    )
+)
+def test_duplicate_filter_never_delivers_twice(events):
+    f = DuplicateFilter()
+    delivered = []
+    for origin, counter in events:
+        rid = RequestId(origin, 0, counter)
+        if not f.is_duplicate(rid):
+            f.mark_delivered(rid)
+            delivered.append((origin, counter))
+    assert len(delivered) == len(set(delivered))
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=40), min_size=0, max_size=40),
+    st.lists(st.integers(min_value=0, max_value=40), min_size=0, max_size=40),
+    st.lists(st.integers(min_value=100, max_value=120), max_size=6),
+)
+def test_flush_union_suffix_property(seen_a, seen_b, orphan_counters):
+    """For any two reports: the union tail contains every reported message
+    exactly once, ordered by seq, inventing no sequence numbers; orphans
+    are collected separately (they belong to the next configuration)."""
+    from repro.gcs.ordering import collect_orphans
+
+    def report(seqs):
+        return {
+            s: Sequenced(VID, s, OrderRequest(RequestId("x", 0, s), "g", s))
+            for s in seqs
+        }
+
+    orphans_in = tuple(
+        OrderRequest(RequestId("y", 0, c), "g", c) for c in sorted(set(orphan_counters))
+    )
+    tail = flush_union([report(seen_a), report(seen_b)])
+    seqs = [m.seq for m in tail]
+    reported = set(seen_a) | set(seen_b)
+    assert seqs == sorted(reported)
+    orphans_out = collect_orphans([tail], [orphans_in])
+    assert [o.request_id for o in orphans_out] == [
+        o.request_id for o in orphans_in
+    ]
+
+
+@pytest.mark.parametrize("crash_index", [0, 1, 2])
+def test_vs_holds_for_every_crash_position(crash_index):
+    """Deterministic variant: whichever member dies mid-burst, survivors
+    that move together deliver identical sets."""
+    world = GcsWorld(3)
+    world.settle()
+    for node in world.daemon_ids:
+        world.daemons[node].join("g")
+    world.run(1.0)
+    for i in range(12):
+        for node in world.daemon_ids:
+            world.daemons[node].mcast("g", (node, i))
+    world.daemons[f"s{crash_index}"].crash()
+    world.settle()
+    survivors = [n for n in world.daemon_ids if world.daemons[n].is_up()]
+    received = [world.apps[n].payloads("g") for n in survivors]
+    assert received[0] == received[1]
+    world.check_spec()

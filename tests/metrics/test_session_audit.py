@@ -1,0 +1,148 @@
+"""Unit tests for the session audit metrics."""
+
+import pytest
+
+from repro.core.client import ReceivedResponse, SessionHandle
+from repro.metrics.session_audit import (
+    audit_session,
+    dual_sender_time,
+    max_concurrent_senders,
+    service_gaps,
+)
+
+
+def handle_with(responses, updates=()):
+    handle = SessionHandle(
+        session_id="s", unit_id="u", client_id="c", requested_at=0.0
+    )
+    handle.received = [
+        ReceivedResponse(
+            time=t,
+            sender=sender,
+            index=index,
+            klass=klass,
+            based_on_update=based_on,
+            uncertain=uncertain,
+        )
+        for (t, sender, index, klass, based_on, uncertain) in responses
+    ]
+    handle.updates_sent = [(t, c, u) for (t, c, u) in updates]
+    handle.update_counter = max((c for _, c, _ in updates), default=0)
+    return handle
+
+
+def r(t, index, sender="s0", klass="I", based_on=0, uncertain=False):
+    return (t, sender, index, klass, based_on, uncertain)
+
+
+class TestAuditSession:
+    def test_clean_stream(self):
+        handle = handle_with([r(0.1 * i, i) for i in range(10)])
+        report = audit_session(handle)
+        assert report.responses_received == 10
+        assert report.duplicate_count == 0
+        assert report.missing_count == 0
+        assert report.stale_count == 0
+        assert report.max_gap == pytest.approx(0.1)
+
+    def test_duplicates_counted(self):
+        handle = handle_with([r(0.0, 0), r(0.1, 1), r(0.2, 1), r(0.3, 1)])
+        report = audit_session(handle)
+        assert report.duplicate_count == 2
+        assert report.distinct_indices == 2
+        assert report.duplicate_fraction == 0.5
+
+    def test_missing_counted(self):
+        handle = handle_with([r(0.0, 0), r(0.1, 3)])
+        assert audit_session(handle).missing_count == 2
+
+    def test_stale_requires_grace(self):
+        updates = [(1.0, 1, {"op": "skip"})]
+        # response 0.5s after the update: inside the 1s grace, not stale
+        fresh = handle_with([r(1.5, 0, based_on=0)], updates)
+        assert audit_session(fresh).stale_count == 0
+        # response 2.5s after: the primary should have known update 1
+        stale = handle_with([r(3.5, 0, based_on=0)], updates)
+        assert audit_session(stale).stale_count == 1
+        applied = handle_with([r(3.5, 0, based_on=1)], updates)
+        assert audit_session(applied).stale_count == 0
+
+    def test_uncertain_resends_counted(self):
+        handle = handle_with([r(0.0, 0), r(0.1, 0, uncertain=True)])
+        assert audit_session(handle).uncertain_resends == 1
+
+    def test_until_cutoff(self):
+        handle = handle_with([r(0.0, 0), r(5.0, 1)])
+        assert audit_session(handle, until=1.0).responses_received == 1
+
+    def test_empty(self):
+        report = audit_session(handle_with([]))
+        assert report.responses_received == 0
+        assert report.missing_count == 0
+
+
+class TestServiceGaps:
+    def test_detects_gap(self):
+        handle = handle_with([r(0.0, 0), r(0.1, 1), r(2.0, 2), r(2.1, 3)])
+        gaps = service_gaps(handle, threshold=0.5)
+        assert gaps == [(0.1, 2.0)]
+
+    def test_no_gaps(self):
+        handle = handle_with([r(0.1 * i, i) for i in range(5)])
+        assert service_gaps(handle, threshold=0.5) == []
+
+
+class TestConcurrentSenders:
+    def test_single_sender(self):
+        handle = handle_with([r(0.1 * i, i) for i in range(5)])
+        assert max_concurrent_senders(handle) == 1
+
+    def test_handover_within_window(self):
+        handle = handle_with([r(0.0, 0, "s0"), r(0.5, 1, "s1")])
+        assert max_concurrent_senders(handle, window=1.0) == 2
+        assert max_concurrent_senders(handle, window=0.3) == 1
+
+    def test_dual_sender_time_handover_vs_overlap(self):
+        # clean handover: one cross pair, separated by a takeover gap
+        handover = handle_with([r(0.0, 0, "s0"), r(0.6, 1, "s1"), r(0.7, 2, "s1")])
+        assert dual_sender_time(handover, max_dt=0.3) == 0.0
+        # sustained overlap: interleaved senders
+        overlap = handle_with(
+            [r(0.1 * i, i, "s0" if i % 2 == 0 else "s1") for i in range(10)]
+        )
+        assert dual_sender_time(overlap, max_dt=0.3) == pytest.approx(0.9)
+
+
+class TestCollectors:
+    def test_summarize(self):
+        from repro.metrics.collectors import summarize
+
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["n"] == 4
+        assert stats["mean"] == 2.5
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["p50"] == 2.5
+
+    def test_summarize_empty(self):
+        from repro.metrics.collectors import summarize
+
+        stats = summarize([])
+        assert stats["n"] == 0
+        assert stats["mean"] != stats["mean"]  # NaN
+
+    def test_table_rendering(self):
+        from repro.metrics.report import Table
+
+        table = Table(title="T", columns=["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_note("n")
+        rendered = table.render()
+        assert "T" in rendered and "2.5" in rendered and "note: n" in rendered
+
+    def test_table_row_length_checked(self):
+        from repro.metrics.report import Table
+
+        table = Table(title="T", columns=["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)

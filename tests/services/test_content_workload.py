@@ -1,0 +1,222 @@
+"""Unit tests for content generators and an end-to-end test per service."""
+
+import numpy as np
+import pytest
+
+from repro.core import AvailabilityPolicy, ServiceCluster
+from repro.services.content import (
+    build_corpus,
+    build_movie,
+    build_topic,
+)
+from repro.services.education import EducationApplication
+from repro.services.search import SearchApplication
+from repro.services.vod import VodApplication
+from repro.services.workload import (
+    SearcherWorkload,
+    StudentWorkload,
+    VodViewerWorkload,
+)
+
+
+class TestContentGenerators:
+    def test_movie_frame_count(self):
+        movie = build_movie("m", duration_seconds=10, frame_rate=24)
+        assert movie.n_frames == 240
+        assert movie.duration == pytest.approx(10.0)
+
+    def test_movie_frame_classes_cycle(self):
+        movie = build_movie("m", duration_seconds=1, frame_rate=24)
+        assert movie.frame_class(0) == "I"
+        assert movie.frame_class(12) == "I"
+        assert movie.frame_class(1) == "B"
+
+    def test_topic_structure(self):
+        topic = build_topic("t", n_objects=9, seed=1)
+        assert len(topic.objects) == 9
+        kinds = {o.kind for o in topic.objects}
+        assert kinds == {"notes", "animation", "quiz"}
+        for quiz in topic.quizzes():
+            assert quiz.answer is not None
+
+    def test_topic_deterministic(self):
+        assert build_topic("t", seed=4) == build_topic("t", seed=4)
+
+    def test_corpus_matching(self):
+        corpus = build_corpus("c", n_documents=50, seed=2)
+        hits = corpus.matching({"replication"})
+        for doc_id in hits:
+            assert "replication" in corpus.documents[doc_id].terms
+
+    def test_corpus_refinement_subset(self):
+        corpus = build_corpus("c", n_documents=80, seed=2)
+        base = corpus.matching({"group"})
+        refined = corpus.matching({"view"}, within=base)
+        assert set(refined) <= set(base)
+
+    def test_corpus_deterministic(self):
+        assert build_corpus("c", seed=9) == build_corpus("c", seed=9)
+
+
+class TestEducationEndToEnd:
+    def test_student_session_over_cluster(self):
+        topic = build_topic("t0", n_objects=9, seed=1)
+        app = EducationApplication({"t0": topic})
+        cluster = ServiceCluster.build(
+            n_servers=3, units={"t0": app}, replication=2,
+            policy=AvailabilityPolicy(num_backups=1), seed=3,
+        )
+        cluster.settle()
+        client = cluster.add_client("student")
+        handle = client.start_session("t0")
+        cluster.run(2.0)
+        assert handle.started
+        client.send_update(handle, {"op": "open", "object": 0})
+        cluster.run(1.0)
+        assert len(handle.received) == 1
+        assert handle.received[0].klass == "object"
+        quiz = topic.quizzes()[0]
+        client.send_update(
+            handle,
+            {"op": "answer", "object": quiz.object_id, "answer": quiz.answer},
+        )
+        cluster.run(1.0)
+        assert any(r.klass == "feedback" for r in handle.received)
+
+    def test_student_survives_failover(self):
+        topic = build_topic("t0", n_objects=9, seed=1)
+        app = EducationApplication({"t0": topic})
+        cluster = ServiceCluster.build(
+            n_servers=3, units={"t0": app}, replication=3,
+            policy=AvailabilityPolicy(num_backups=1), seed=3,
+        )
+        cluster.settle()
+        client = cluster.add_client("student")
+        handle = client.start_session("t0")
+        cluster.run(2.0)
+        quiz = topic.quizzes()[0]
+        wrong = (quiz.answer + 1) % 4
+        client.send_update(
+            handle, {"op": "answer", "object": quiz.object_id, "answer": wrong}
+        )
+        cluster.run(1.0)
+        cluster.crash_server(cluster.primaries_of(handle.session_id)[0])
+        cluster.run(4.0)
+        # the new primary remembers the raised detail level (grades context)
+        client.send_update(handle, {"op": "open", "object": 1})
+        cluster.run(2.0)
+        opened = [r for r in handle.received if r.klass == "object"]
+        assert "extra_detail" in opened[-1].body
+
+
+class TestSearchEndToEnd:
+    def test_refinement_chain_over_cluster_with_failover(self):
+        corpus = build_corpus("c0", n_documents=100, seed=4)
+        app = SearchApplication({"c0": corpus})
+        cluster = ServiceCluster.build(
+            n_servers=3, units={"c0": app}, replication=3,
+            policy=AvailabilityPolicy(num_backups=1), seed=4,
+        )
+        cluster.settle()
+        client = cluster.add_client("searcher")
+        handle = client.start_session("c0")
+        cluster.run(2.0)
+        client.send_update(handle, {"op": "query", "terms": ["replication"]})
+        cluster.run(1.0)
+        cluster.crash_server(cluster.primaries_of(handle.session_id)[0])
+        cluster.run(4.0)
+        # refinement references result set 0 across the failover
+        client.send_update(handle, {"op": "refine", "base": 0, "terms": ["group"]})
+        cluster.run(2.0)
+        results = [r for r in handle.received if r.klass == "result"]
+        assert len(results) >= 2
+        base = set(results[0].body["doc_ids"])
+        refined = set(results[-1].body["doc_ids"])
+        assert refined <= base
+
+
+class TestWorkloads:
+    def make_vod_cluster(self):
+        movie = build_movie("m0", duration_seconds=120, frame_rate=10)
+        app = VodApplication({"m0": movie})
+        cluster = ServiceCluster.build(
+            n_servers=3, units={"m0": app}, replication=3, seed=5,
+        )
+        cluster.settle()
+        return cluster
+
+    def test_vod_viewer_workload_interacts(self):
+        cluster = self.make_vod_cluster()
+        client = cluster.add_client("c0")
+        handle = client.start_session("m0")
+        cluster.run(2.0)
+        workload = VodViewerWorkload(
+            cluster=cluster,
+            client=client,
+            handle=handle,
+            rng=np.random.default_rng(1),
+            skip_interval_mean=2.0,
+            movie_frames=1200,
+        )
+        workload.start()
+        cluster.run(20.0)
+        assert workload.interactions >= 3
+        assert handle.update_counter >= 3
+
+    def test_workload_stop(self):
+        cluster = self.make_vod_cluster()
+        client = cluster.add_client("c0")
+        handle = client.start_session("m0")
+        cluster.run(2.0)
+        workload = VodViewerWorkload(
+            cluster=cluster, client=client, handle=handle,
+            rng=np.random.default_rng(1), skip_interval_mean=1.0,
+            movie_frames=1200,
+        )
+        workload.start()
+        cluster.run(5.0)
+        workload.stop()
+        count = workload.interactions
+        cluster.run(10.0)
+        assert workload.interactions == count
+
+    def test_student_workload(self):
+        topic = build_topic("t0", n_objects=9, seed=1)
+        app = EducationApplication({"t0": topic})
+        cluster = ServiceCluster.build(
+            n_servers=2, units={"t0": app}, replication=2, seed=6,
+        )
+        cluster.settle()
+        client = cluster.add_client("c0")
+        handle = client.start_session("t0")
+        cluster.run(2.0)
+        workload = StudentWorkload(
+            cluster=cluster, client=client, handle=handle,
+            rng=np.random.default_rng(2), n_objects=9, think_time_mean=0.5,
+        )
+        workload.start()
+        cluster.run(15.0)
+        assert workload.steps_taken >= 5
+        assert any(r.klass == "object" for r in handle.received)
+
+    def test_searcher_workload(self):
+        corpus = build_corpus("c0", seed=4)
+        app = SearchApplication({"c0": corpus})
+        cluster = ServiceCluster.build(
+            n_servers=2, units={"c0": app}, replication=2, seed=6,
+        )
+        cluster.settle()
+        client = cluster.add_client("c0")
+        handle = client.start_session("c0")
+        cluster.run(2.0)
+        from repro.services.content import VOCABULARY
+
+        workload = SearcherWorkload(
+            cluster=cluster, client=client, handle=handle,
+            rng=np.random.default_rng(3), vocabulary=VOCABULARY,
+            think_time_mean=0.5,
+        )
+        workload.start()
+        cluster.run(15.0)
+        assert workload.queries_sent >= 5
+        assert any(r.klass == "result" for r in handle.received)

@@ -1,0 +1,114 @@
+"""Unit tests for the distance-education application."""
+
+import pytest
+
+from repro.services.content import build_topic
+from repro.services.education import EducationApplication
+
+
+@pytest.fixture
+def app():
+    return EducationApplication({"t": build_topic("t", n_objects=12, seed=3)})
+
+
+@pytest.fixture
+def state(app):
+    return app.initial_state("t", {})
+
+
+def step(app, state, update):
+    state = app.apply_update(state, update)
+    return app.respond_to_update(state, update)
+
+
+def test_initial_state(state):
+    assert state.current_object == 0
+    assert state.detail_level == 1
+    assert state.grades == ()
+
+
+def test_open_returns_object(app, state):
+    state, responses = step(app, state, {"op": "open", "object": 0})
+    assert len(responses) == 1
+    assert responses[0].klass == "object"
+    assert responses[0].body["object"] == 0
+    assert state.visited == (0,)
+
+
+def test_open_invalid_object_noop(app, state):
+    state, responses = step(app, state, {"op": "open", "object": 99})
+    assert responses == [] or responses[0].body["object"] == 0
+
+
+def test_next_advances(app, state):
+    state, responses = step(app, state, {"op": "next"})
+    assert state.current_object == 1
+    assert responses[0].body["object"] == 1
+
+
+def test_next_clamps_at_end(app, state):
+    for _ in range(20):
+        state = app.apply_update(state, {"op": "next"})
+    assert state.current_object == 11
+
+
+def test_follow_link(app, state):
+    topic = app.topic("t")
+    state = app.apply_update(state, {"op": "open", "object": 0})
+    state, responses = step(app, state, {"op": "follow", "link": 0})
+    expected = topic.objects[0].links[0]
+    assert state.current_object == expected
+
+
+def test_correct_answer_high_grade(app, state):
+    quiz = app.topic("t").quizzes()[0]
+    state, responses = step(
+        app, state, {"op": "answer", "object": quiz.object_id, "answer": quiz.answer}
+    )
+    assert state.grades == (100,)
+    assert state.detail_level == 1
+    assert responses[0].klass == "feedback"
+    assert responses[0].body["grade"] == 100
+
+
+def test_wrong_answer_raises_detail_and_remediates(app, state):
+    quiz = app.topic("t").quizzes()[0]
+    wrong = (quiz.answer + 1) % 4
+    state = app.apply_update(state, {"op": "open", "object": quiz.object_id})
+    state, responses = step(
+        app, state, {"op": "answer", "object": quiz.object_id, "answer": wrong}
+    )
+    assert state.grades[-1] == 25
+    assert state.detail_level == 2
+    klasses = [r.klass for r in responses]
+    assert "feedback" in klasses and "remedial" in klasses
+
+
+def test_detail_level_enriches_subsequent_objects(app, state):
+    quiz = app.topic("t").quizzes()[0]
+    wrong = (quiz.answer + 1) % 4
+    state = app.apply_update(
+        state, {"op": "answer", "object": quiz.object_id, "answer": wrong}
+    )
+    state, responses = step(app, state, {"op": "open", "object": 1})
+    assert "extra_detail" in responses[0].body
+
+
+def test_answer_non_quiz_ignored(app, state):
+    notes = next(o for o in app.topic("t").objects if o.kind == "notes")
+    new_state = app.apply_update(
+        state, {"op": "answer", "object": notes.object_id, "answer": 1}
+    )
+    assert new_state.grades == ()
+
+
+def test_finished_after_visiting_everything(app, state):
+    for object_id in range(12):
+        state = app.apply_update(state, {"op": "open", "object": object_id})
+    assert app.is_finished(state)
+
+
+def test_no_streaming(app, state):
+    assert app.response_interval(state) is None
+    assert app.next_responses(state) == (state, [])
+    assert app.estimate_emitted(state, 10.0) == 0

@@ -1,0 +1,95 @@
+"""Unit tests for the refinement-search application."""
+
+import pytest
+
+from repro.services.content import build_corpus
+from repro.services.search import SearchApplication
+
+
+@pytest.fixture
+def app():
+    return SearchApplication({"c": build_corpus("c", n_documents=120, seed=5)})
+
+
+@pytest.fixture
+def state(app):
+    return app.initial_state("c", None)
+
+
+def step(app, state, update):
+    state = app.apply_update(state, update)
+    return app.respond_to_update(state, update)
+
+
+def test_fresh_query_appends_result_set(app, state):
+    state, responses = step(app, state, {"op": "query", "terms": ["replication"]})
+    assert len(state.result_sets) == 1
+    assert len(responses) == 1
+    assert responses[0].klass == "result"
+    assert responses[0].body["result_set"] == 0
+    corpus = app.corpus("c")
+    expected = corpus.matching({"replication"})
+    assert responses[0].body["doc_ids"] == expected
+
+
+def test_refine_narrows_previous_set(app, state):
+    state, _ = step(app, state, {"op": "query", "terms": ["replication"]})
+    state, responses = step(
+        app, state, {"op": "refine", "base": 0, "terms": ["group"]}
+    )
+    base = set(state.result_sets[0])
+    refined = set(state.result_sets[1])
+    assert refined <= base
+    assert responses[0].body["result_set"] == 1
+
+
+def test_after_year_filter(app, state):
+    state, _ = step(app, state, {"op": "query", "terms": ["group"]})
+    state, responses = step(app, state, {"op": "after", "base": 0, "year": 1995})
+    corpus = app.corpus("c")
+    for doc_id in responses[0].body["doc_ids"]:
+        assert corpus.documents[doc_id].year > 1995
+
+
+def test_intersect(app, state):
+    state, _ = step(app, state, {"op": "query", "terms": ["replication"]})
+    state, _ = step(app, state, {"op": "query", "terms": ["group"]})
+    state, responses = step(app, state, {"op": "intersect", "a": 0, "b": 1})
+    a, b = set(state.result_sets[0]), set(state.result_sets[1])
+    assert set(responses[0].body["doc_ids"]) == a & b
+
+
+def test_invalid_base_produces_no_result(app, state):
+    state, responses = step(app, state, {"op": "refine", "base": 7, "terms": ["x"]})
+    assert state.result_sets == ()
+    assert responses == []
+
+
+def test_unknown_op_noop(app, state):
+    state, responses = step(app, state, {"op": "teleport"})
+    assert state.result_sets == ()
+    assert responses == []
+
+
+def test_context_is_the_list_of_result_sets(app, state):
+    """The paper: 'the session context is the list of previous result
+    sets' — refinements years later still reference set 0."""
+    state, _ = step(app, state, {"op": "query", "terms": ["replication"]})
+    for _ in range(4):
+        state, _ = step(app, state, {"op": "query", "terms": ["membership"]})
+    state, responses = step(
+        app, state, {"op": "refine", "base": 0, "terms": ["failure"]}
+    )
+    base = set(state.result_sets[0])
+    assert set(responses[0].body["doc_ids"]) <= base
+
+
+def test_each_result_reported_once(app, state):
+    state, r1 = step(app, state, {"op": "query", "terms": ["group"]})
+    state, r2 = step(app, state, {"op": "query", "terms": ["view"]})
+    assert [r.index for r in r1] == [0]
+    assert [r.index for r in r2] == [1]
+
+
+def test_no_streaming(app, state):
+    assert app.response_interval(state) is None

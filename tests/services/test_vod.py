@@ -1,0 +1,123 @@
+"""Unit tests for the VoD application."""
+
+import copy
+
+import pytest
+
+from repro.services.content import build_movie
+from repro.services.vod import FRAME_SIZE, VodApplication
+
+
+@pytest.fixture
+def vod():
+    return VodApplication({"m": build_movie("m", duration_seconds=10, frame_rate=10)})
+
+
+@pytest.fixture
+def state(vod):
+    return vod.initial_state("m", {})
+
+
+def drain(vod, state, n):
+    responses = []
+    for _ in range(n):
+        state, out = vod.next_responses(state)
+        responses.extend(out)
+    return state, responses
+
+
+def test_initial_state_defaults(vod, state):
+    assert state.position == 0
+    assert state.rate == 10.0
+    assert not state.paused
+
+
+def test_initial_state_params(vod):
+    state = vod.initial_state("m", {"start": 30, "rate": 5.0, "paused": True})
+    assert state.position == 30 and state.rate == 5.0 and state.paused
+
+
+def test_frames_stream_in_order(vod, state):
+    _, responses = drain(vod, state, 5)
+    assert [r.index for r in responses] == [0, 1, 2, 3, 4]
+
+
+def test_gop_pattern_classes(vod, state):
+    _, responses = drain(vod, state, 12)
+    assert "".join(r.klass for r in responses) == "IBBPBBPBBPBB"
+
+
+def test_frame_sizes_by_class(vod, state):
+    _, responses = drain(vod, state, 4)
+    assert responses[0].size == FRAME_SIZE["I"]
+    assert responses[1].size == FRAME_SIZE["B"]
+    assert responses[3].size == FRAME_SIZE["P"]
+
+
+def test_skip_update(vod, state):
+    state = vod.apply_update(state, {"op": "skip", "to": 50})
+    assert state.position == 50
+    _, responses = drain(vod, state, 1)
+    assert responses[0].index == 50
+
+
+def test_skip_clamps_to_bounds(vod, state):
+    assert vod.apply_update(state, {"op": "skip", "to": -5}).position == 0
+    assert vod.apply_update(state, {"op": "skip", "to": 9999}).position == 100
+
+
+def test_pause_stops_responses(vod, state):
+    state = vod.apply_update(state, {"op": "pause"})
+    assert vod.response_interval(state) is None
+    state, responses = vod.next_responses(state)
+    assert responses == []
+    assert state.position == 0
+
+
+def test_resume_restores_interval(vod, state):
+    state = vod.apply_update(state, {"op": "pause"})
+    state = vod.apply_update(state, {"op": "resume"})
+    assert vod.response_interval(state) == pytest.approx(0.1)
+
+
+def test_rate_update_changes_interval(vod, state):
+    state = vod.apply_update(state, {"op": "rate", "value": 20.0})
+    assert vod.response_interval(state) == pytest.approx(0.05)
+
+
+def test_rate_floor(vod, state):
+    state = vod.apply_update(state, {"op": "rate", "value": 0.0})
+    assert state.rate == pytest.approx(0.1)
+
+
+def test_unknown_update_is_noop(vod, state):
+    assert vod.apply_update(state, {"op": "dance"}) == state
+
+
+def test_estimate_emitted(vod, state):
+    assert vod.estimate_emitted(state, 2.0) == 20
+    paused = vod.apply_update(state, {"op": "pause"})
+    assert vod.estimate_emitted(paused, 2.0) == 0
+
+
+def test_estimate_emitted_clamped_by_remaining(vod):
+    state = vod.initial_state("m", {"start": 95})
+    assert vod.estimate_emitted(state, 10.0) == 5
+
+
+def test_advance_and_finish(vod, state):
+    state = vod.advance(state, 99)
+    assert not vod.is_finished(state)
+    state = vod.advance(state, 5)
+    assert state.position == 100
+    assert vod.is_finished(state)
+    state, responses = vod.next_responses(state)
+    assert responses == []
+
+
+def test_state_is_immutable_value(vod, state):
+    """Frozen dataclass: snapshots can never alias live state."""
+    copied = copy.deepcopy(state)
+    new_state = vod.apply_update(state, {"op": "skip", "to": 10})
+    assert state == copied
+    assert new_state is not state

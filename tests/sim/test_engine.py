@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import PeriodicTimer, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.schedule(1.0, lambda n=name: order.append(n))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.schedule(4.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [1.5, 4.25]
+
+
+def test_run_until_stops_at_boundary_and_sets_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run_until(2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run_until(10.0)
+    assert fired == [1, 5]
+    assert sim.now == 10.0
+
+
+def test_run_until_includes_events_at_exact_boundary():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append("x"))
+    sim.run_until(2.0)
+    assert fired == ["x"]
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            sim.schedule(1.0, lambda: chain(n + 1))
+
+    sim.schedule(1.0, lambda: chain(1))
+    sim.run()
+    assert seen == [1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cannot_run_backwards():
+    sim = Simulator()
+    sim.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(1.0)
+
+
+def test_run_until_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(0.001, forever)
+
+    sim.schedule(0.001, forever)
+    with pytest.raises(SimulationError):
+        sim.run_until(100.0, max_events=50)
+
+
+def test_executed_and_pending_counts():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    e1.cancel()
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.executed_events == 1
+
+
+def test_clear_drops_pending_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.clear()
+    sim.run()
+    assert fired == []
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, period=1.0, callback=lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_first_delay_override(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, period=2.0, callback=lambda: ticks.append(sim.now))
+        timer.start(first_delay=0.5)
+        sim.run_until(5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_stop_prevents_future_fires(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, period=1.0, callback=lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run_until(2.5)
+        timer.stop()
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+        assert not timer.active
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, period=1.0, callback=lambda: ticks.append(1))
+
+        def stopper():
+            ticks.append("stop")
+            timer.stop()
+
+        timer.callback = stopper
+        timer.start()
+        sim.run_until(5.0)
+        assert ticks == ["stop"]
+
+    def test_zero_period_rejected(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, period=0.0, callback=lambda: None)
+        with pytest.raises(SimulationError):
+            timer.start()

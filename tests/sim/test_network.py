@@ -1,0 +1,180 @@
+"""Unit tests for the simulated network (delivery, loss, FIFO, accounting)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import FixedLatency, UniformLatency
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.topology import Topology
+from repro.sim.trace import TraceLog
+
+
+class Sink:
+    """A minimal attached endpoint that records deliveries."""
+
+    def __init__(self, network, node_id, up=True):
+        self.node_id = node_id
+        self.up = up
+        self.received = []
+        network.attach(node_id, self.received.append, lambda: self.up)
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    return Network(sim, Topology(), FixedLatency(0.01))
+
+
+def test_basic_delivery(net):
+    a = Sink(net, "a")
+    b = Sink(net, "b")
+    net.send("a", "b", {"x": 1}, kind="data")
+    net.sim.run()
+    assert len(b.received) == 1
+    msg = b.received[0]
+    assert msg.payload == {"x": 1}
+    assert msg.sender == "a"
+    assert msg.kind == "data"
+    assert net.sim.now == pytest.approx(0.01)
+    assert a.received == []
+
+
+def test_delivery_to_self(net):
+    a = Sink(net, "a")
+    net.send("a", "a", "loop")
+    net.sim.run()
+    assert [m.payload for m in a.received] == ["loop"]
+
+
+def test_fifo_per_pair_even_with_jittered_latency():
+    sim = Simulator()
+    rng = RngRegistry(7).stream("latency")
+    net = Network(sim, Topology(), UniformLatency(0.001, 0.1, rng))
+    Sink(net, "a")
+    b = Sink(net, "b")
+    for i in range(50):
+        net.send("a", "b", i)
+    sim.run()
+    assert [m.payload for m in b.received] == list(range(50))
+
+
+def test_fifo_not_enforced_across_pairs():
+    # Different senders may interleave arbitrarily; only per-pair order holds.
+    sim = Simulator()
+    net = Network(sim, Topology(), FixedLatency(0.01))
+    Sink(net, "a")
+    Sink(net, "b")
+    c = Sink(net, "c")
+    net.send("a", "c", "a1")
+    net.send("b", "c", "b1")
+    net.send("a", "c", "a2")
+    sim.run()
+    payloads = [m.payload for m in c.received]
+    assert payloads.index("a1") < payloads.index("a2")
+
+
+def test_drop_when_disconnected_at_send(net):
+    Sink(net, "a")
+    b = Sink(net, "b")
+    net.topology.partition({"a"}, {"b"})
+    net.send("a", "b", "lost")
+    net.sim.run()
+    assert b.received == []
+    assert net.total_dropped == 1
+
+
+def test_drop_when_partition_forms_in_flight(net):
+    Sink(net, "a")
+    b = Sink(net, "b")
+    net.send("a", "b", "in-flight")
+    net.sim.schedule(0.005, lambda: net.topology.partition({"a"}, {"b"}))
+    net.sim.run()
+    assert b.received == []
+    assert net.total_dropped == 1
+
+
+def test_delivered_if_partition_forms_after_arrival(net):
+    Sink(net, "a")
+    b = Sink(net, "b")
+    net.send("a", "b", "made-it")
+    net.sim.schedule(0.02, lambda: net.topology.partition({"a"}, {"b"}))
+    net.sim.run()
+    assert [m.payload for m in b.received] == ["made-it"]
+
+
+def test_drop_when_receiver_down_at_arrival(net):
+    Sink(net, "a")
+    b = Sink(net, "b")
+    net.send("a", "b", "too-late")
+    b.up = False
+    net.sim.run()
+    assert b.received == []
+    assert net.total_dropped == 1
+
+
+def test_drop_when_receiver_unknown(net):
+    Sink(net, "a")
+    net.send("a", "ghost", "nobody-home")
+    net.sim.run()
+    assert net.total_dropped == 1
+
+
+def test_multicast_reaches_all_receivers(net):
+    Sink(net, "a")
+    b = Sink(net, "b")
+    c = Sink(net, "c")
+    net.multicast("a", ["b", "c"], "hello")
+    net.sim.run()
+    assert [m.payload for m in b.received] == ["hello"]
+    assert [m.payload for m in c.received] == ["hello"]
+
+
+def test_multicast_include_self_flag(net):
+    a = Sink(net, "a")
+    b = Sink(net, "b")
+    net.multicast("a", ["a", "b"], "x", include_self=False)
+    net.sim.run()
+    assert a.received == []
+    assert len(b.received) == 1
+
+
+def test_accounting_by_kind(net):
+    Sink(net, "a")
+    Sink(net, "b")
+    net.send("a", "b", 1, kind="heartbeat", size=10)
+    net.send("a", "b", 2, kind="heartbeat", size=10)
+    net.send("a", "b", 3, kind="data", size=100)
+    net.sim.run()
+    assert net.sent_count("a") == 3
+    assert net.sent_count("a", "heartbeat") == 2
+    assert net.received_count("b", "data") == 1
+    assert net.received_bytes("b") == 120
+    assert net.kinds_received("b") == {"heartbeat": 2, "data": 1}
+
+
+def test_reset_stats(net):
+    Sink(net, "a")
+    Sink(net, "b")
+    net.send("a", "b", 1)
+    net.sim.run()
+    net.reset_stats()
+    assert net.sent_count("a") == 0
+    assert net.total_sent == 0
+
+
+def test_trace_records_delivery_and_drop():
+    sim = Simulator()
+    trace = TraceLog()
+    net = Network(sim, Topology(), FixedLatency(0.01), trace=trace)
+    Sink(net, "a")
+    Sink(net, "b")
+    net.send("a", "b", 1, kind="data")
+    sim.run()
+    net.topology.cut_link("a", "b")
+    net.send("a", "b", 2, kind="data")
+    sim.run()
+    assert trace.count("net.deliver") == 1
+    assert trace.count("net.drop") == 1
+    drop = trace.select(category="net.drop")[0]
+    assert drop.detail["reason"] == "disconnected-at-send"

@@ -1,0 +1,158 @@
+"""Unit tests for the Process lifecycle (crash, recover, timers)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import FixedLatency
+from repro.sim.network import Network
+from repro.sim.process import Process, ProcessState
+from repro.sim.topology import Topology
+
+
+class Echo(Process):
+    """Records payloads; replies 'ack:<p>' when the payload asks for it."""
+
+    def __init__(self, node_id, network):
+        super().__init__(node_id, network)
+        self.log = []
+        self.started = 0
+        self.crashes = 0
+        self.recoveries = 0
+
+    def on_start(self):
+        self.started += 1
+
+    def on_message(self, message):
+        self.log.append(message.payload)
+        if isinstance(message.payload, str) and message.payload.startswith("ping"):
+            self.send(message.sender, "ack:" + message.payload)
+
+    def on_crash(self):
+        self.crashes += 1
+
+    def on_recover(self):
+        self.recoveries += 1
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    net = Network(sim, Topology(), FixedLatency(0.01))
+    a = Echo("a", net)
+    b = Echo("b", net)
+    a.start()
+    b.start()
+    return sim, net, a, b
+
+
+def test_request_reply(world):
+    sim, net, a, b = world
+    a.send("b", "ping1")
+    sim.run()
+    assert b.log == ["ping1"]
+    assert a.log == ["ack:ping1"]
+
+
+def test_start_hook_called_once(world):
+    _, _, a, b = world
+    assert a.started == 1 and b.started == 1
+
+
+def test_crashed_process_drops_incoming(world):
+    sim, net, a, b = world
+    b.crash()
+    a.send("b", "ping1")
+    sim.run()
+    assert b.log == []
+    assert b.state is ProcessState.CRASHED
+
+
+def test_crashed_process_cannot_send(world):
+    sim, net, a, b = world
+    a.crash()
+    a.send("b", "ping1")
+    sim.run()
+    assert b.log == []
+
+
+def test_crash_cancels_one_shot_timers(world):
+    sim, net, a, b = world
+    fired = []
+    a.set_timer(1.0, lambda: fired.append("x"))
+    a.crash()
+    sim.run()
+    assert fired == []
+
+
+def test_crash_stops_periodic_timers(world):
+    sim, net, a, b = world
+    ticks = []
+    a.set_periodic_timer(1.0, lambda: ticks.append(sim.now))
+    sim.run_until(2.5)
+    a.crash()
+    sim.run_until(10.0)
+    assert ticks == [1.0, 2.0]
+
+
+def test_recover_bumps_incarnation_and_calls_hook(world):
+    sim, net, a, b = world
+    assert a.incarnation == 0
+    a.crash()
+    a.recover()
+    assert a.incarnation == 1
+    assert a.crashes == 1
+    assert a.recoveries == 1
+    a.send("b", "ping2")
+    sim.run()
+    assert b.log == ["ping2"]
+
+
+def test_crash_idempotent(world):
+    _, _, a, _ = world
+    a.crash()
+    a.crash()
+    assert a.crashes == 1
+
+
+def test_recover_when_up_is_noop(world):
+    _, _, a, _ = world
+    a.recover()
+    assert a.recoveries == 0
+    assert a.incarnation == 0
+
+
+def test_timer_set_while_crashed_raises(world):
+    _, _, a, _ = world
+    a.crash()
+    with pytest.raises(RuntimeError):
+        a.set_timer(1.0, lambda: None)
+    with pytest.raises(RuntimeError):
+        a.set_periodic_timer(1.0, lambda: None)
+
+
+def test_message_in_flight_to_crashing_process_lost(world):
+    sim, net, a, b = world
+    a.send("b", "ping1")
+    sim.schedule_at(0.005, b.crash)
+    sim.run()
+    assert b.log == []
+
+
+def test_timers_fire_after_recovery(world):
+    sim, net, a, b = world
+    fired = []
+    a.crash()
+    a.recover()
+    a.set_timer(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_multicast_from_process(world):
+    sim, net, a, b = world
+    c = Echo("c", net)
+    c.start()
+    a.multicast(["b", "c"], "hello", include_self=False)
+    sim.run()
+    assert b.log == ["hello"]
+    assert c.log == ["hello"]

@@ -1,0 +1,154 @@
+"""Unit tests for RNG streams, latency models, and the trace log."""
+
+import pytest
+
+from repro.sim.latency import (
+    FixedLatency,
+    LogNormalLatency,
+    PairwiseLatency,
+    UniformLatency,
+    lan_latency,
+    wan_latency,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream(self):
+        rngs = RngRegistry(1)
+        assert rngs.stream("x") is rngs.stream("x")
+
+    def test_different_names_independent(self):
+        rngs = RngRegistry(1)
+        a = rngs.stream("a").random(5)
+        b = rngs.stream("b").random(5)
+        assert list(a) != list(b)
+
+    def test_reproducible_across_registries(self):
+        r1 = RngRegistry(99).stream("lat").random(10)
+        r2 = RngRegistry(99).stream("lat").random(10)
+        assert list(r1) == list(r2)
+
+    def test_different_seeds_differ(self):
+        r1 = RngRegistry(1).stream("lat").random(5)
+        r2 = RngRegistry(2).stream("lat").random(5)
+        assert list(r1) != list(r2)
+
+    def test_fork_is_deterministic_and_independent(self):
+        parent = RngRegistry(5)
+        child1 = parent.fork("rep0")
+        child2 = RngRegistry(5).fork("rep0")
+        assert list(child1.stream("x").random(3)) == list(
+            child2.stream("x").random(3)
+        )
+        other = parent.fork("rep1")
+        assert list(other.stream("x").random(3)) != list(
+            RngRegistry(5).fork("rep0").stream("x").random(3)
+        )
+
+    def test_reset_replays_streams(self):
+        rngs = RngRegistry(3)
+        first = list(rngs.stream("s").random(4))
+        rngs.reset()
+        again = list(rngs.stream("s").random(4))
+        assert first == again
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        model = FixedLatency(0.25)
+        assert model.sample("a", "b") == 0.25
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1.0)
+
+    def test_uniform_within_bounds(self):
+        rng = RngRegistry(0).stream("lat")
+        model = UniformLatency(0.01, 0.02, rng)
+        samples = [model.sample("a", "b") for _ in range(200)]
+        assert all(0.01 <= s <= 0.02 for s in samples)
+
+    def test_uniform_rejects_bad_bounds(self):
+        rng = RngRegistry(0).stream("lat")
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1, rng)
+
+    def test_lognormal_floor(self):
+        rng = RngRegistry(0).stream("lat")
+        model = LogNormalLatency(median=0.001, sigma=2.0, rng=rng, minimum=0.0005)
+        samples = [model.sample("a", "b") for _ in range(500)]
+        assert min(samples) >= 0.0005
+
+    def test_lognormal_rejects_bad_params(self):
+        rng = RngRegistry(0).stream("lat")
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0, sigma=1.0, rng=rng)
+
+    def test_pairwise_override(self):
+        default = FixedLatency(0.001)
+        model = PairwiseLatency(default)
+        model.set_pair("a", "b", FixedLatency(0.5))
+        assert model.sample("a", "b") == 0.5
+        assert model.sample("b", "a") == 0.5  # symmetric by default
+        assert model.sample("a", "c") == 0.001
+
+    def test_pairwise_asymmetric(self):
+        model = PairwiseLatency(FixedLatency(0.001))
+        model.set_pair("a", "b", FixedLatency(0.5), symmetric=False)
+        assert model.sample("a", "b") == 0.5
+        assert model.sample("b", "a") == 0.001
+
+    def test_presets_sane(self):
+        rng = RngRegistry(0).stream("lat")
+        lan = lan_latency(rng)
+        wan = wan_latency(rng)
+        lan_avg = sum(lan.sample("a", "b") for _ in range(100)) / 100
+        wan_avg = sum(wan.sample("a", "b") for _ in range(100)) / 100
+        assert lan_avg < 0.001 < wan_avg
+
+
+class TestTraceLog:
+    def test_record_and_select(self):
+        log = TraceLog()
+        log.record(1.0, "a", "view", vid=1)
+        log.record(2.0, "b", "view", vid=2)
+        log.record(3.0, "a", "crash")
+        assert log.count("view") == 2
+        assert len(log.select(node="a")) == 2
+        assert log.select(category="view", node="b")[0].detail == {"vid": 2}
+        assert len(log.select(since=2.0)) == 2
+        assert len(log.select(until=2.0)) == 2
+
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.record(1.0, "a", "x")
+        assert len(log) == 0
+
+    def test_category_filter(self):
+        log = TraceLog(categories={"keep"})
+        log.record(1.0, "a", "keep")
+        log.record(1.0, "a", "drop")
+        assert log.count("keep") == 1
+        assert log.count("drop") == 0
+
+    def test_capacity_keeps_tail(self):
+        log = TraceLog(capacity=3)
+        for i in range(10):
+            log.record(float(i), "a", "tick", i=i)
+        assert len(log) == 3
+        assert [e.detail["i"] for e in log.events] == [7, 8, 9]
+
+    def test_subscriber_sees_events(self):
+        log = TraceLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.record(1.0, "a", "x")
+        assert len(seen) == 1 and seen[0].category == "x"
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(1.0, "a", "x")
+        log.clear()
+        assert len(log) == 0

@@ -1,0 +1,29 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_policy_command(capsys):
+    assert main(["policy", "--target", "1e-4", "--failure-rate", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "backups needed" in out
+    assert "achieved loss" in out
+
+
+def test_experiments_subset_fast(capsys):
+    assert main(["experiments", "--fast", "E3"]) == 0
+    out = capsys.readouterr().out
+    assert "E3:" in out
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "frames" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

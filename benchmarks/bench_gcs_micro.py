@@ -1,48 +1,159 @@
 """G1 — GCS micro-benchmarks: the substrate the framework stands on.
 
 Not a paper table; these quantify the primitives Section 3.2 assumes:
-totally ordered multicast throughput (simulated messages per wall-second,
-i.e. simulator efficiency), view-change convergence latency vs group
-size, and the client open-group injection path.
+totally ordered multicast throughput (both simulated seconds consumed
+and real wall-clock msgs/s, i.e. simulator efficiency), the wire cost
+of a delivered multicast with sequencer batching + heartbeat
+piggybacking on vs off, view-change convergence latency vs group size,
+and the client open-group injection path.
+
+Results persist to ``BENCH_gcs_micro.json`` (see ``persist_bench`` in
+``conftest.py``) so successive PRs can track the perf trajectory.
 """
 
 import os
+import time
 
+from repro.gcs.settings import GcsSettings
 from repro.metrics.report import Table
 from tests.gcs.conftest import GcsWorld
 
+# The hot-path tuning under test: defaults (sequencer batching +
+# heartbeat piggybacking) vs the pre-batching wire format.
+TUNED = GcsSettings()
+UNTUNED = GcsSettings(batch_window=0.0, piggyback_liveness=False)
 
-def _throughput_world(n_daemons: int, n_messages: int) -> float:
-    world = GcsWorld(n_daemons)
+
+def _throughput_world(
+    n_daemons: int, n_messages: int, settings: GcsSettings | None = None
+) -> dict:
+    """Order ``n_messages`` multicasts across ``n_daemons`` and report both
+    clocks: simulated seconds consumed (protocol efficiency) and wall
+    seconds (simulator efficiency).  These are different quantities — an
+    earlier version reported ``sim.now`` under a wall-clock label."""
+    wall_start = time.perf_counter()
+    world = GcsWorld(n_daemons, settings=settings)
     world.settle()
     for node in world.daemon_ids:
         world.daemons[node].join("g")
     world.run(1.0)
+    sim_start = world.sim.now
     for index in range(n_messages):
         world.daemons[world.daemon_ids[index % n_daemons]].mcast("g", index)
     world.run(30.0)
+    wall_seconds = time.perf_counter() - wall_start
     delivered = len(world.apps[world.daemon_ids[0]].payloads("g"))
     assert delivered == n_messages
-    return world.sim.now
+    return {
+        "n_daemons": n_daemons,
+        "n_messages": n_messages,
+        "sim_seconds": round(world.sim.now - sim_start, 3),
+        "wall_seconds": round(wall_seconds, 3),
+        "msgs_per_wall_second": round(n_messages / wall_seconds, 1),
+    }
 
 
-def test_total_order_throughput(benchmark):
+def test_total_order_throughput(benchmark, bench_persist):
     n_messages = 300 if os.environ.get("REPRO_BENCH_FULL") != "1" else 2000
 
-    result = benchmark.pedantic(
-        lambda: _throughput_world(4, n_messages), rounds=1, iterations=1
+    def sweep():
+        return {
+            "batched": _throughput_world(4, n_messages, TUNED),
+            "unbatched": _throughput_world(4, n_messages, UNTUNED),
+        }
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    bench_persist("gcs_micro", {"total_order_throughput": result})
+    for mode, r in result.items():
+        print(
+            f"\n[{mode}] ordered {r['n_messages']} multicasts across "
+            f"{r['n_daemons']} daemons: {r['sim_seconds']:.1f} simulated s, "
+            f"{r['wall_seconds']:.2f} wall s "
+            f"({r['msgs_per_wall_second']:.0f} msgs/wall-s)"
+        )
+
+
+def _messages_per_multicast(
+    n_daemons: int, settings: GcsSettings, bursts: int = 10, burst: int = 20
+) -> dict:
+    """Steady-state wire cost: total GCS messages sent (requests,
+    sequenced traffic, heartbeats — everything) per delivered multicast,
+    measured after the group has settled, over a busy window of
+    ``bursts`` bursts of ``burst`` back-to-back submissions."""
+    world = GcsWorld(n_daemons, settings=settings)
+    world.settle()
+    for node in world.daemon_ids:
+        world.daemons[node].join("g")
+    world.run(2.0)  # past joins and request-resubmit transients
+    world.network.reset_stats()
+    n_messages = bursts * burst
+    payload = 0
+    for _ in range(bursts):
+        for _ in range(burst):
+            world.daemons[world.daemon_ids[payload % n_daemons]].mcast(
+                "g", payload
+            )
+            payload += 1
+        world.run(0.1)
+    world.run(0.5)
+    total_sent = world.network.total_sent
+    delivered = len(world.apps[world.daemon_ids[0]].payloads("g"))
+    assert delivered == n_messages
+    return {
+        "n_daemons": n_daemons,
+        "multicasts": n_messages,
+        "total_messages_sent": total_sent,
+        "messages_per_multicast": round(total_sent / n_messages, 2),
+    }
+
+
+def test_messages_per_delivered_multicast(benchmark, bench_persist):
+    """The PR's headline gate: with defaults at 8 daemons, steady-state
+    messages per delivered multicast must drop >= 2x vs the unbatched,
+    unsuppressed seed behaviour."""
+    sizes = (4, 8) if os.environ.get("REPRO_BENCH_FULL") != "1" else (2, 4, 8)
+
+    def sweep():
+        rows = {}
+        for n in sizes:
+            rows[str(n)] = {
+                "batched": _messages_per_multicast(n, TUNED),
+                "unbatched": _messages_per_multicast(n, UNTUNED),
+            }
+            rows[str(n)]["reduction_factor"] = round(
+                rows[str(n)]["unbatched"]["messages_per_multicast"]
+                / rows[str(n)]["batched"]["messages_per_multicast"],
+                2,
+            )
+        return rows
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    bench_persist("gcs_micro", {"messages_per_delivered_multicast": result})
+
+    table = Table(
+        title="G1: steady-state messages per delivered multicast",
+        columns=["daemons", "batched", "unbatched", "reduction"],
     )
-    print(f"\nordered {n_messages} multicasts across 4 daemons "
-          f"(simulated time {result:.1f}s)")
+    for n, row in result.items():
+        table.add_row(
+            n,
+            row["batched"]["messages_per_multicast"],
+            row["unbatched"]["messages_per_multicast"],
+            f"{row['reduction_factor']:.2f}x",
+        )
+    print()
+    print(table.render())
+    assert result["8"]["reduction_factor"] >= 2.0
 
 
-def test_view_change_latency(benchmark):
+def test_view_change_latency(benchmark, bench_persist):
     table = Table(
         title="G1: view convergence latency after one crash vs group size",
         columns=["daemons", "converge_s"],
     )
 
     def sweep():
+        latencies = {}
         for n in (2, 4, 8):
             world = GcsWorld(n)
             world.settle()
@@ -59,12 +170,15 @@ def test_view_change_latency(benchmark):
                 )
                 if len(views) == 1 and members_ok:
                     break
-            table.add_row(n, world.sim.now - t0)
-        return table
+            latency = world.sim.now - t0
+            latencies[str(n)] = round(latency, 3)
+            table.add_row(n, latency)
+        return latencies
 
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    bench_persist("gcs_micro", {"view_convergence_seconds": result})
     print()
-    print(result.render())
+    print(table.render())
 
 
 def test_client_injection_roundtrip(benchmark):

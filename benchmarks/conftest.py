@@ -12,9 +12,39 @@ full sweeps used for the recorded results.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def persist_bench(name: str, payload: dict) -> Path:
+    """Merge ``payload`` into ``BENCH_<name>.json`` at the repo root.
+
+    The file is the machine-readable counterpart of the rendered tables:
+    one JSON object per benchmark module, each test merging its section
+    under a stable key, so successive PRs can diff the perf trajectory
+    without parsing terminal output.  Existing keys not in ``payload``
+    are preserved (tests can run individually).
+    """
+    path = _REPO_ROOT / f"BENCH_{name}.json"
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    data.update(payload)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture
+def bench_persist():
+    return persist_bench
 
 
 def run_experiment(benchmark, module, seed: int = 0, capfd=None):

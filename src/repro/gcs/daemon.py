@@ -33,7 +33,9 @@ from repro.gcs.messages import (
     ProposeNack,
     PtpData,
     RequestId,
+    ResyncRequired,
     Sequenced,
+    SequencedBatch,
     SyncReply,
 )
 from repro.gcs.ordering import DuplicateFilter, HoldbackBuffer, PendingRequests
@@ -97,6 +99,13 @@ class GcsDaemon(Process):
         self._membership_event_guard: dict[tuple, int] = {}
         self._config_installed_at = 0.0
         self._hb_timer = None
+        # sequencer batching: messages stamped but not yet disseminated
+        self._batch: list[Sequenced] = []
+        self._batch_timer = None
+        # heartbeat piggybacking: when we last sent each peer a *real*
+        # heartbeat (traffic suppresses them, but view-id/incarnation
+        # reporting must not starve — see heartbeat_refresh_factor)
+        self._last_hb_sent: dict[NodeId, float] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -120,6 +129,9 @@ class GcsDaemon(Process):
         self.pending.clear()
         self._pending_since.clear()
         self._next_seq = 0
+        self._batch = []
+        self._batch_timer = None
+        self._last_hb_sent.clear()
         self._my_groups_intent.clear()
         self._last_group_view.clear()
         self._client_acks_pending.clear()
@@ -139,22 +151,42 @@ class GcsDaemon(Process):
         )
 
     def _tick(self) -> None:
-        heartbeat = Heartbeat(
-            self.node_id,
-            self.incarnation,
-            self.membership.view_counter,
-            config_view_id=self.config.view_id,
-        )
-        for peer in self.world:
-            if peer != self.node_id:
-                self.send(peer, heartbeat, kind="gcs.heartbeat")
+        self._broadcast_heartbeat()
         self.fd.check()
         self.membership.on_tick()
         if self.config_divergence_detected():
             self.membership.reconfigure()
         self._resubmit_stale()
         self._nack_gaps()
-        self.holdback.prune()
+        self.holdback.prune(self.settings.holdback_keep)
+
+    def _broadcast_heartbeat(self, force: bool = False) -> None:
+        """Heartbeat every world peer, skipping peers that recent outgoing
+        protocol traffic already proved us alive to (piggybacking).  A full
+        heartbeat still goes out every ``heartbeat_refresh_factor`` intervals
+        per peer, because only heartbeats carry our view id and incarnation
+        (the divergence and restart detectors feed on them)."""
+        heartbeat = Heartbeat(
+            self.node_id,
+            self.incarnation,
+            self.membership.view_counter,
+            config_view_id=self.config.view_id,
+        )
+        now = self.sim.now
+        interval = self.settings.heartbeat_interval
+        refresh_after = interval * self.settings.heartbeat_refresh_factor
+        for peer in self.world:
+            if peer == self.node_id:
+                continue
+            if (
+                not force
+                and self.settings.piggyback_liveness
+                and now - self._last_hb_sent.get(peer, float("-inf")) < refresh_after
+                and now - self.network.last_sent_at(self.node_id, peer) < interval
+            ):
+                continue
+            self._last_hb_sent[peer] = now
+            self.send(peer, heartbeat, kind="gcs.heartbeat")
 
     def _on_fd_change(self) -> None:
         self.membership.reconfigure()
@@ -260,25 +292,86 @@ class GcsDaemon(Process):
             config_view_id=self.config.view_id, seq=self._next_seq, request=request
         )
         self._next_seq += 1
+        if self.settings.batching_enabled and len(self.config.members) > 1:
+            self._batch.append(sequenced)
+            if len(self._batch) >= self.settings.batch_max:
+                self._flush_batch()
+            elif self._batch_timer is None or self._batch_timer.finished:
+                self._batch_timer = self.set_timer(
+                    self.settings.batch_window,
+                    self._flush_batch,
+                    label=f"batch:{self.node_id}",
+                )
+        else:
+            for member in self.config.members:
+                if member == self.node_id:
+                    continue
+                self.send(
+                    member,
+                    sequenced,
+                    kind="gcs.sequenced",
+                    size=request.size_estimate,
+                )
+        # The sequencer takes its own copy synchronously: a message it has
+        # sequenced must be visible to any sync reply it builds from this
+        # instant on, or a racing view formation could install a view
+        # whose flush union silently misses the message.  (With batching
+        # this also covers messages buffered but never flushed: they are in
+        # the holdback, hence in the sync reply, hence in the flush union.)
+        self._on_sequenced(sequenced)
+
+    def _flush_batch(self) -> None:
+        """Disseminate the accumulated window as one SequencedBatch per
+        configuration member."""
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+        if not self._batch:
+            return
+        batch = SequencedBatch(
+            # every buffered entry was stamped in the current configuration
+            # (the buffer is discarded on install/resync/recovery)
+            config_view_id=self._batch[0].config_view_id,
+            messages=tuple(self._batch),
+        )
+        self._batch = []
         for member in self.config.members:
             if member == self.node_id:
                 continue
             self.send(
                 member,
-                sequenced,
-                kind="gcs.sequenced",
-                size=request.size_estimate,
+                batch,
+                kind="gcs.sequenced_batch",
+                size=batch.size_estimate,
             )
-        # The sequencer takes its own copy synchronously: a message it has
-        # sequenced must be visible to any sync reply it builds from this
-        # instant on, or a racing view formation could install a view
-        # whose flush union silently misses the message.
-        self._on_sequenced(sequenced)
+
+    def _discard_batch(self) -> None:
+        """Drop buffered-but-unsent sequenced messages (configuration died;
+        survivors obtain them from the flush union instead)."""
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+        self._batch = []
 
     def _on_sequenced(self, sequenced: Sequenced) -> None:
         if sequenced.config_view_id != self.config.view_id:
             return
         self.holdback.insert(sequenced)
+        if not self.membership.forming:
+            self.flush_ready()
+
+    def _on_sequenced_batch(self, batch: SequencedBatch) -> None:
+        """Unpack a batch into the holdback buffer.  Entries are filtered
+        per message, so a batch whose window straddled a view change (or a
+        duplicate retransmission) contributes only its live entries."""
+        live = tuple(
+            m for m in batch.messages if m.config_view_id == self.config.view_id
+        )
+        if not live:
+            return
+        self.holdback.insert_batch(
+            SequencedBatch(config_view_id=live[0].config_view_id, messages=live)
+        )
         if not self.membership.forming:
             self.flush_ready()
 
@@ -307,15 +400,75 @@ class GcsDaemon(Process):
             or self.config.sequencer != self.node_id
         ):
             return
+        resend: list[Sequenced] = []
+        unfillable = False
         for seq in nack.seqs:
             message = self.holdback.get(seq)
             if message is not None:
+                resend.append(message)
+            elif seq < self.holdback.pruned_below:
+                # The peer lags beyond the retransmission horizon: this gap
+                # can never be filled in place.  Silently ignoring it (the
+                # pre-fix behaviour) stalled the peer forever — heartbeats
+                # kept flowing, so no view change ever repaired it.
+                unfillable = True
+        if unfillable:
+            self.trace("gcs.nack_unfillable", peer=str(sender))
+            self.send(
+                sender,
+                ResyncRequired(config_view_id=self.config.view_id),
+                kind="gcs.resync",
+            )
+            return
+        if not resend:
+            return
+        if self.settings.batching_enabled:
+            batch = SequencedBatch(
+                config_view_id=self.config.view_id, messages=tuple(resend)
+            )
+            self.send(
+                sender, batch, kind="gcs.sequenced_batch", size=batch.size_estimate
+            )
+        else:
+            for message in resend:
                 self.send(
                     sender,
                     message,
                     kind="gcs.sequenced",
                     size=message.request.size_estimate,
                 )
+
+    def _on_resync_required(self, resync: ResyncRequired) -> None:
+        """The sequencer told us our holdback gap is beyond repair: abandon
+        the configuration like a freshly recovered daemon (fresh singleton
+        view) — but keep our identity: incarnation, group intents, pending
+        requests and the duplicate filter all survive, so re-merging is an
+        ordinary join and retransmissions stay idempotent.  The messages we
+        missed are lost to us, which is sound precisely because we do *not*
+        transition to the next view together with the daemons that
+        delivered them (virtual synchrony binds only joint transitions)."""
+        if resync.config_view_id != self.config.view_id:
+            return
+        if len(self.config.members) == 1:
+            return
+        self.trace("gcs.resync_to_singleton", abandoned=str(self.config.view_id))
+        counter = self.membership.restart_as_singleton()
+        self.config = Configuration.make(
+            ViewId(counter, self.node_id), [self.node_id]
+        )
+        self._config_installed_at = self.sim.now
+        self.holdback = HoldbackBuffer()
+        self._next_seq = 0
+        self._discard_batch()
+        self._record_member_incarnations()
+        self._emit_config_view()
+        for group in sorted(set(self.group_map.groups()) | set(self._last_group_view)):
+            self._emit_group_view(group, change_seq=0)
+        # Announce the new view immediately (piggyback suppression would
+        # otherwise delay the heartbeat that lets peers spot the divergence
+        # and pull us back in).
+        self._broadcast_heartbeat(force=True)
+        self.membership.reconfigure()
 
     # ------------------------------------------------------------------
     # delivery
@@ -467,6 +620,7 @@ class GcsDaemon(Process):
             self._record_member_incarnations()
         self._next_seq = len(install.orphans)
         self.holdback = HoldbackBuffer()
+        self._discard_batch()
         self.group_map = GroupMap.from_snapshot(install.group_map)
         self.dup_filter.merge(install.delivered_counters)
         # Requests orphaned by the old configuration's death are delivered
@@ -554,10 +708,20 @@ class GcsDaemon(Process):
         payload = message.payload
         if isinstance(payload, Heartbeat):
             self.fd.on_heartbeat(payload)
+            return
+        if self.settings.piggyback_liveness:
+            # Any protocol message is liveness evidence for its sender
+            # (delivery metadata carries the sender), which is what lets
+            # the sender suppress explicit heartbeats on busy links.
+            self.fd.observe_traffic(message.sender)
+        if isinstance(payload, SequencedBatch):
+            self._on_sequenced_batch(payload)
         elif isinstance(payload, Sequenced):
             self._on_sequenced(payload)
         elif isinstance(payload, OrderRequest):
             self._on_order_request(payload)
+        elif isinstance(payload, ResyncRequired):
+            self._on_resync_required(payload)
         elif isinstance(payload, Propose):
             self.membership.on_propose(payload, message.sender)
         elif isinstance(payload, SyncReply):

@@ -26,6 +26,11 @@ class _PeerState:
     last_heard: float
     incarnation: int
     config_view_id: object = None
+    # when the peer last *reported* its view id (a real heartbeat, not
+    # mere traffic evidence) — divergence detection must compare against
+    # this, or a stale view report kept "fresh" by data traffic would
+    # trigger spurious reconfigurations.
+    last_view_report: float = 0.0
 
 
 class FailureDetector:
@@ -64,7 +69,10 @@ class FailureDetector:
         changed = False
         if state is None:
             self._peers[peer] = _PeerState(
-                self._now(), heartbeat.incarnation, heartbeat.config_view_id
+                self._now(),
+                heartbeat.incarnation,
+                heartbeat.config_view_id,
+                last_view_report=self._now(),
             )
             changed = True
         else:
@@ -73,10 +81,28 @@ class FailureDetector:
             state.last_heard = self._now()
             state.incarnation = heartbeat.incarnation
             state.config_view_id = heartbeat.config_view_id
+            state.last_view_report = self._now()
         if peer not in self._alive:
             self._alive.add(peer)
             changed = True
         if changed:
+            self._on_change()
+
+    def observe_traffic(self, peer: NodeId) -> None:
+        """Feed delivery of *any* protocol message from ``peer`` as liveness
+        evidence (heartbeat piggybacking: the sender suppresses explicit
+        heartbeats on links its traffic already covers).
+
+        Only refreshes peers that have introduced themselves with at least
+        one real heartbeat — plain traffic carries no incarnation or view
+        id, so an unknown sender stays unknown until its first heartbeat.
+        """
+        state = self._peers.get(peer)
+        if state is None or peer == self.me:
+            return
+        state.last_heard = self._now()
+        if peer not in self._alive:
+            self._alive.add(peer)
             self._on_change()
 
     def check(self) -> None:
@@ -128,7 +154,7 @@ class FailureDetector:
         divergent = []
         for peer in sorted(self._alive, key=str):
             state = self._peers[peer]
-            if state.last_heard < heard_after:
+            if state.last_view_report < heard_after:
                 continue
             if (
                 state.config_view_id is not None

@@ -143,6 +143,17 @@ class MembershipEngine:
         self._waiting_since = None
         self._abandon_coordination()
 
+    def restart_as_singleton(self) -> int:
+        """Abandon the current configuration (used when the sequencer
+        reports an unfillable holdback gap): drop all formation state and
+        return a fresh view counter — strictly above everything seen — for
+        the singleton view the daemon falls back to before re-merging."""
+        self.reset()
+        self.view_counter = (
+            max(self.view_counter, self.daemon.fd.max_view_counter_seen) + 1
+        )
+        return self.view_counter
+
     # ------------------------------------------------------------------
     # coordinator role
     # ------------------------------------------------------------------

@@ -74,12 +74,44 @@ class Sequenced:
 
 
 @dataclass(frozen=True)
+class SequencedBatch:
+    """A window's worth of sequenced multicasts disseminated as one wire
+    message (sequencer batching).
+
+    Each contained :class:`Sequenced` carries its own ``config_view_id``
+    and sequence number, so a receiver simply unpacks the batch into its
+    holdback buffer; entries stamped by a configuration the receiver has
+    already left are ignored per-entry, which is what makes a batch split
+    across a view change safe."""
+
+    config_view_id: ViewId
+    messages: tuple[Sequenced, ...]
+
+    @property
+    def size_estimate(self) -> int:
+        return sum(m.request.size_estimate for m in self.messages)
+
+
+@dataclass(frozen=True)
 class NackSeqs:
     """Member -> sequencer: I hold a gap in the configuration's sequence
     (a Sequenced message was lost on the wire); please retransmit."""
 
     config_view_id: ViewId
     seqs: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ResyncRequired:
+    """Sequencer -> member: the sequence gap you NACKed was pruned from the
+    retransmission buffer, so it can never be filled in place.  The member
+    abandons the configuration (resetting to a fresh singleton view, like a
+    recovery but keeping its group intents and pending requests) and merges
+    back through the ordinary view-formation path; the messages it missed
+    are gone for it — exactly a rejoin, repaired by the application-level
+    state exchange that every join triggers."""
+
+    config_view_id: ViewId
 
 
 # ---------------------------------------------------------------------------
@@ -206,7 +238,9 @@ __all__ = [
     "Propose",
     "ProposeNack",
     "RequestId",
+    "ResyncRequired",
     "Sequenced",
+    "SequencedBatch",
     "SyncReply",
 ]
 

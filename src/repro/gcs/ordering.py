@@ -15,7 +15,7 @@ is what makes virtual synchrony hold.
 
 from __future__ import annotations
 
-from repro.gcs.messages import OrderRequest, RequestId, Sequenced
+from repro.gcs.messages import OrderRequest, RequestId, Sequenced, SequencedBatch
 
 
 class HoldbackBuffer:
@@ -24,17 +24,31 @@ class HoldbackBuffer:
 
     ``delivered_upto`` is the count of messages actually handed to the
     application; everything inserted (delivered or not) is reported by
-    :meth:`all_received` for the flush round.
+    :meth:`all_received` for the flush round.  ``pruned_below`` is the
+    lowest sequence number still retransmittable: anything below it was
+    discarded by :meth:`prune` and can never be served to a NACK again.
     """
 
     def __init__(self) -> None:
         self._all: dict[int, Sequenced] = {}
         self.delivered_upto = 0
+        self.pruned_below = 0
 
     def insert(self, message: Sequenced) -> None:
         """Record a sequenced message (duplicates are ignored)."""
         if message.seq not in self._all:
             self._all[message.seq] = message
+
+    def insert_batch(self, batch: SequencedBatch) -> int:
+        """Record every message of a batch; returns how many were new.
+        Re-received batches (e.g. a NACK retransmission overlapping a late
+        original) are de-duplicated per entry."""
+        inserted = 0
+        for message in batch.messages:
+            if message.seq not in self._all:
+                self._all[message.seq] = message
+                inserted += 1
+        return inserted
 
     def take_ready(self) -> list[Sequenced]:
         """Pop the messages now deliverable in contiguous order, advancing
@@ -79,8 +93,9 @@ class HoldbackBuffer:
         little theoretical coverage for bounded memory on long runs.
         """
         floor = self.delivered_upto - keep
-        if floor <= 0:
+        if floor <= self.pruned_below:
             return
+        self.pruned_below = floor
         for seq in [s for s in self._all if s < floor]:
             del self._all[seq]
 

@@ -31,6 +31,24 @@ class GcsSettings:
         end_to_end_client_acks: acknowledge a client multicast only once
             it is delivered in the total order (not merely received by
             the contact daemon).  Disable only for the ablation study.
+        batch_window: how long the sequencer accumulates order requests
+            before disseminating them as one ``SequencedBatch`` (amortizes
+            the per-member unicast over many multicasts).  ``0.0`` disables
+            batching and restores the one-``Sequenced``-per-request wire
+            behaviour.
+        batch_max: flush a partially filled batch early once it holds this
+            many messages (bounds latency *and* message size under bursts).
+        piggyback_liveness: treat any received GCS message as liveness
+            evidence for its sender and suppress an explicit heartbeat to
+            a peer the sender messaged within the last interval.  Cuts the
+            steady-state O(world²) heartbeat storm on busy links.
+        heartbeat_refresh_factor: even with piggybacking, force a full
+            heartbeat to every peer at least once per this many intervals —
+            heartbeats are the only carriers of the sender's view id and
+            incarnation, which the divergence and restart detectors need.
+        holdback_keep: delivered messages the holdback buffer retains for
+            NACK retransmission; a peer lagging further than this can no
+            longer be repaired in place and is resynced via a view change.
     """
 
     heartbeat_interval: float = 0.1
@@ -41,6 +59,15 @@ class GcsSettings:
     client_max_retries: int = 10
     detect_divergence: bool = True
     end_to_end_client_acks: bool = True
+    batch_window: float = 0.002
+    batch_max: int = 32
+    piggyback_liveness: bool = True
+    heartbeat_refresh_factor: int = 4
+    holdback_keep: int = 4096
+
+    @property
+    def batching_enabled(self) -> bool:
+        return self.batch_window > 0.0
 
     def scaled(self, factor: float) -> "GcsSettings":
         """Return a copy with all timeouts multiplied by ``factor``
@@ -54,6 +81,11 @@ class GcsSettings:
             client_max_retries=self.client_max_retries,
             detect_divergence=self.detect_divergence,
             end_to_end_client_acks=self.end_to_end_client_acks,
+            batch_window=self.batch_window * factor,
+            batch_max=self.batch_max,
+            piggyback_liveness=self.piggyback_liveness,
+            heartbeat_refresh_factor=self.heartbeat_refresh_factor,
+            holdback_keep=self.holdback_keep,
         )
 
 

@@ -28,6 +28,9 @@ class Event:
     Events compare by ``(time, seq)`` so the heap pops them in timestamp
     order with deterministic tie-breaking.  ``cancelled`` supports O(1)
     cancellation: the event stays in the heap but is skipped when popped.
+    ``executed`` is set by the engine once the callback has run, so holders
+    of an event reference (e.g. a process's timer list) can tell a fired
+    one-shot from a still-pending one and release it.
     """
 
     time: float
@@ -35,10 +38,16 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
         self.cancelled = True
+
+    @property
+    def finished(self) -> bool:
+        """True once the event can never fire (again): cancelled or run."""
+        return self.cancelled or self.executed
 
 
 class Simulator:
@@ -118,6 +127,7 @@ class Simulator:
                 continue
             self._now = event.time
             self._executed += 1
+            event.executed = True
             event.callback()
             return True
         return False
@@ -145,6 +155,7 @@ class Simulator:
                     continue
                 self._now = event.time
                 self._executed += 1
+                event.executed = True
                 event.callback()
                 executed += 1
                 if max_events is not None and executed >= max_events:

@@ -86,6 +86,7 @@ class Network:
         self._is_up: dict[NodeId, Callable[[], bool]] = {}
         self._msg_ids = itertools.count()
         self._last_delivery: dict[tuple[NodeId, NodeId], float] = {}
+        self._last_send: dict[tuple[NodeId, NodeId], float] = {}
         self._stats_sent: dict[NodeId, dict[str, LinkStats]] = defaultdict(
             lambda: defaultdict(LinkStats)
         )
@@ -146,6 +147,7 @@ class Network:
             msg_id=next(self._msg_ids),
         )
         self.total_sent += 1
+        self._last_send[(sender, receiver)] = self.sim.now
         sent_stats = self._stats_sent[sender][kind]
         sent_stats.sent += 1
         sent_stats.bytes_sent += size
@@ -248,6 +250,13 @@ class Network:
         if kind is not None:
             return stats[kind].bytes_received if kind in stats else 0
         return sum(s.bytes_received for s in stats.values())
+
+    def last_sent_at(self, sender: NodeId, receiver: NodeId) -> float:
+        """Simulation time of ``sender``'s most recent send to ``receiver``
+        (``-inf`` if it never sent one).  This is transport-level metadata:
+        the GCS heartbeat layer uses it to suppress an explicit heartbeat
+        to a peer that recent protocol traffic already covers."""
+        return self._last_send.get((sender, receiver), float("-inf"))
 
     def kinds_received(self, node: NodeId) -> dict[str, int]:
         """Per-kind received message counts for ``node``."""

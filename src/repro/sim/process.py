@@ -130,7 +130,11 @@ class Process:
         event = self.sim.schedule(delay, guarded, label=label or f"{self.node_id}")
         self._timers.append(event)
         if len(self._timers) > 256:
-            self._timers = [t for t in self._timers if not t.cancelled]
+            # Evict timers that can never fire again — both cancelled ones
+            # and already-fired one-shots (``executed`` is stamped by the
+            # engine).  Filtering on ``cancelled`` alone kept every fired
+            # event forever, an unbounded leak on request-heavy long runs.
+            self._timers = [t for t in self._timers if not t.finished]
         return event
 
     def set_periodic_timer(

@@ -1,0 +1,218 @@
+"""Sequencer batching and heartbeat piggybacking (GCS hot-path tuning).
+
+Batching must be transparent to every virtual-synchrony property: the
+property suite runs with it on (the default) and off; these tests cover
+the batching-specific edges — the wire-level win, a batch split across a
+view change, NACKs answered with batches, duplicate batch delivery, and
+heartbeat suppression on busy links.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gcs.messages import NackSeqs, SequencedBatch
+from repro.gcs.settings import GcsSettings
+from tests.gcs.conftest import GcsWorld
+
+
+def _join_all(world, group="g"):
+    for node in world.daemon_ids:
+        world.daemons[node].join(group)
+    world.run(1.0)
+
+
+class TestBatchingWire:
+    def test_burst_is_batched_into_fewer_messages(self):
+        """A burst submitted within one window leaves the sequencer as a
+        handful of SequencedBatch messages, not one unicast per request
+        per member."""
+        world = GcsWorld(4, settings=GcsSettings(batch_window=0.005, batch_max=64))
+        world.settle()
+        _join_all(world)
+        world.network.reset_stats()
+        for i in range(30):
+            world.daemons["s0"].mcast("g", i)
+        world.run(2.0)
+        for node in world.daemon_ids:
+            assert world.apps[node].payloads("g") == list(range(30))
+        batches = world.network.sent_count("s0", "gcs.sequenced_batch")
+        singles = world.network.sent_count("s0", "gcs.sequenced")
+        assert singles == 0
+        # 30 messages to 3 peers unbatched would be 90 sends; batched it
+        # collapses to a few windows' worth.
+        assert batches <= 9
+
+    def test_zero_window_restores_unbatched_wire_format(self):
+        world = GcsWorld(3, settings=GcsSettings(batch_window=0.0))
+        world.settle()
+        _join_all(world)
+        world.network.reset_stats()
+        for i in range(10):
+            world.daemons["s1"].mcast("g", i)
+        world.run(2.0)
+        for node in world.daemon_ids:
+            assert world.apps[node].payloads("g") == list(range(10))
+        assert world.network.sent_count("s0", "gcs.sequenced_batch") == 0
+        assert world.network.sent_count("s0", "gcs.sequenced") > 0
+
+    def test_batch_max_flushes_early(self):
+        """batch_max bounds batching latency even within one window."""
+        world = GcsWorld(3, settings=GcsSettings(batch_window=0.5, batch_max=4))
+        world.settle()
+        _join_all(world)
+        world.run(2.0)  # let the (slow-window) join events fully settle
+        for i in range(8):
+            world.daemons["s0"].mcast("g", i)
+        # Run far less than one window: only the batch_max trigger can
+        # have disseminated the burst.
+        world.run(0.2)
+        for node in world.daemon_ids:
+            assert world.apps[node].payloads("g") == list(range(8))
+
+
+class TestBatchViewChangeAndDuplicates:
+    def test_batch_split_across_view_change(self):
+        """Messages buffered when a member dies are never lost: whatever
+        was not flushed before the view change is carried into the new
+        view by the flush union (the sequencer holds them in its own
+        holdback from the instant of sequencing)."""
+        world = GcsWorld(4, settings=GcsSettings(batch_window=0.05, batch_max=500))
+        world.settle()
+        _join_all(world)
+        for i in range(20):
+            world.daemons["s1"].mcast("g", i)
+        # crash a member mid-window, before the batch timer can fire
+        world.daemons["s3"].crash()
+        world.settle()
+        survivors = [n for n in world.daemon_ids if world.daemons[n].is_up()]
+        for node in survivors:
+            assert sorted(world.apps[node].payloads("g")) == list(range(20)), node
+        world.check_spec()
+
+    def test_sequencer_crash_with_buffered_batch(self):
+        """If the sequencer itself dies with a buffered batch, survivors
+        re-drive their pending requests into the new configuration."""
+        world = GcsWorld(3, settings=GcsSettings(batch_window=0.05, batch_max=500))
+        world.settle()
+        _join_all(world)
+        assert world.daemons["s0"].config.sequencer == "s0"
+        for i in range(10):
+            world.daemons["s1"].mcast("g", i)
+        world.run(0.01)  # requests reach the sequencer; window still open
+        world.daemons["s0"].crash()
+        world.settle()
+        world.run(2.0)
+        for node in ("s1", "s2"):
+            assert sorted(world.apps[node].payloads("g")) == list(range(10)), node
+        world.check_spec()
+
+    def test_duplicate_batch_delivery_is_idempotent(self):
+        """Replaying a batch (as a NACK retransmission would) neither
+        duplicates deliveries nor disturbs ordering."""
+        world = GcsWorld(3)
+        world.settle()
+        _join_all(world)
+        for i in range(5):
+            world.daemons["s0"].mcast("g", i)
+        world.run(1.0)
+        target = world.daemons["s2"]
+        held = [
+            target.holdback.get(seq)
+            for seq in sorted(target.holdback.all_received())
+        ]
+        replay = SequencedBatch(
+            config_view_id=target.config.view_id, messages=tuple(held)
+        )
+        target._on_sequenced_batch(replay)
+        target._on_sequenced_batch(replay)
+        world.run(0.5)
+        assert world.apps["s2"].payloads("g") == list(range(5))
+        world.check_spec()
+
+    def test_nack_answered_with_batch(self):
+        """A gap NACK is answered by one batch carrying the missing run."""
+        world = GcsWorld(3)
+        world.settle()
+        _join_all(world)
+        for i in range(6):
+            world.daemons["s1"].mcast("g", i)
+        world.run(1.0)
+        sequencer = world.daemons["s0"]
+        held = sorted(sequencer.holdback.all_received())
+        before = world.network.sent_count("s0", "gcs.sequenced_batch")
+        sequencer._on_nack_seqs(
+            NackSeqs(
+                config_view_id=sequencer.config.view_id, seqs=tuple(held[:4])
+            ),
+            sender="s2",
+        )
+        after = world.network.sent_count("s0", "gcs.sequenced_batch")
+        assert after == before + 1
+
+
+class TestHeartbeatPiggybacking:
+    def test_traffic_suppresses_heartbeats(self):
+        """Under a steady multicast load, member↔sequencer links carry
+        fewer explicit heartbeats than the idle all-pairs baseline."""
+        def heartbeats_under_load(settings):
+            world = GcsWorld(4, settings=settings)
+            world.settle()
+            _join_all(world)
+            world.network.reset_stats()
+            for step in range(40):
+                world.daemons["s1"].mcast("g", step)
+                world.run(0.05)
+            return sum(
+                world.network.sent_count(n, "gcs.heartbeat")
+                for n in world.daemon_ids
+            )
+
+        suppressed = heartbeats_under_load(GcsSettings())
+        baseline = heartbeats_under_load(GcsSettings(piggyback_liveness=False))
+        assert suppressed < baseline
+
+    def test_no_false_suspicion_under_suppression(self):
+        """Piggybacked liveness keeps the failure detector quiet: a busy
+        run with suppression on sees no spurious view changes."""
+        world = GcsWorld(4)
+        world.settle()
+        views_before = {n: world.daemons[n].config.view_id for n in world.daemon_ids}
+        for step in range(60):
+            world.daemons["s1"].mcast("g", step)
+            world.run(0.05)
+        views_after = {n: world.daemons[n].config.view_id for n in world.daemon_ids}
+        assert views_before == views_after
+        world.check_spec()
+
+    def test_crash_still_detected_with_piggybacking(self):
+        """Suppression must not blind the detector: a real crash still
+        converges to a view without the dead member."""
+        world = GcsWorld(4)
+        world.settle()
+        _join_all(world)
+        for step in range(10):
+            world.daemons["s1"].mcast("g", step)
+            world.run(0.05)
+        world.daemons["s2"].crash()
+        world.settle()
+        world.assert_single_view(
+            expected_members={"s0", "s1", "s3"}
+        )
+        world.check_spec()
+
+
+@pytest.mark.parametrize("batching", [True, False])
+def test_end_to_end_delivery_both_modes(batching):
+    settings = GcsSettings() if batching else GcsSettings(batch_window=0.0)
+    world = GcsWorld(5, settings=settings)
+    world.settle()
+    _join_all(world)
+    for i in range(25):
+        world.daemons[world.daemon_ids[i % 5]].mcast("g", i)
+    world.run(3.0)
+    reference = world.apps["s0"].payloads("g")
+    assert sorted(reference) == list(range(25))
+    for node in world.daemon_ids[1:]:
+        assert world.apps[node].payloads("g") == reference, node
+    world.check_spec()

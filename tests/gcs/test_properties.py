@@ -14,8 +14,18 @@ from hypothesis import strategies as st
 
 from repro.gcs.ordering import DuplicateFilter, HoldbackBuffer, flush_union
 from repro.gcs.messages import OrderRequest, RequestId, Sequenced
+from repro.gcs.settings import GcsSettings
 from repro.gcs.view import ViewId
 from tests.gcs.conftest import GcsWorld
+
+# The safety properties must be independent of the hot-path tuning: every
+# end-to-end schedule runs once with sequencer batching + heartbeat
+# piggybacking on (the defaults) and once with both off (the pre-batching
+# wire format).
+TUNING_MODES = {
+    "batched": GcsSettings(),
+    "unbatched": GcsSettings(batch_window=0.0, piggyback_liveness=False),
+}
 
 
 # ---------------------------------------------------------------------------
@@ -49,8 +59,8 @@ action_strategy = st.one_of(
 )
 
 
-def run_schedule(actions):
-    world = GcsWorld(N_DAEMONS)
+def run_schedule(actions, settings=None):
+    world = GcsWorld(N_DAEMONS, settings=settings)
     world.settle()
     for node in world.daemon_ids:
         world.daemons[node].join("g")
@@ -86,28 +96,30 @@ def run_schedule(actions):
     return world
 
 
+@pytest.mark.parametrize("mode", sorted(TUNING_MODES))
 @settings(
     max_examples=25,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
 @given(st.lists(action_strategy, min_size=1, max_size=12))
-def test_gcs_safety_under_random_schedules(actions):
-    world = run_schedule(actions)
+def test_gcs_safety_under_random_schedules(mode, actions):
+    world = run_schedule(actions, settings=TUNING_MODES[mode])
     world.check_spec()
 
 
+@pytest.mark.parametrize("mode", sorted(TUNING_MODES))
 @settings(
     max_examples=10,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
 @given(st.lists(action_strategy, min_size=1, max_size=12))
-def test_gcs_converges_after_stabilization(actions):
+def test_gcs_converges_after_stabilization(mode, actions):
     """After every schedule ends (faults healed, everyone recovered), all
     daemons agree on one configuration containing everyone — the paper's
     'precise views in times of stability'."""
-    world = run_schedule(actions)
+    world = run_schedule(actions, settings=TUNING_MODES[mode])
     world.run(6.0)
     world.assert_single_view(expected_members=set(world.daemon_ids))
 

@@ -156,3 +156,35 @@ def test_multicast_from_process(world):
     sim.run()
     assert b.log == ["hello"]
     assert c.log == ["hello"]
+
+
+def test_fired_one_shot_timers_are_evicted(world):
+    """Regression: fired one-shot timers must not accumulate in the
+    process's timer list forever.  The >256 compaction used to filter on
+    ``cancelled`` only, and firing never set it — so request-heavy long
+    runs (per-request ack timers in the server and client) leaked every
+    Event object ever created."""
+    sim, _, a, _ = world
+    fired = []
+    for i in range(2000):
+        a.set_timer(0.001 * (i + 1), lambda: fired.append(1))
+    sim.run()
+    assert len(fired) == 2000
+    # one more insertion triggers compaction over an all-fired list
+    a.set_timer(0.001, lambda: None)
+    assert len(a._timers) <= 257
+
+
+def test_mixed_timer_compaction_keeps_pending(world):
+    """Compaction drops fired and cancelled timers but keeps live ones."""
+    sim, _, a, _ = world
+    keep = [a.set_timer(1e9, lambda: None) for _ in range(5)]
+    for _ in range(300):
+        a.set_timer(0.001, lambda: None)
+    sim.run_until(1.0)
+    a.set_timer(0.001, lambda: None)  # triggers compaction
+    live = [t for t in a._timers if not t.finished]
+    for event in keep:
+        assert event in a._timers
+    assert len(live) >= 5
+    assert len(a._timers) <= 257

@@ -4,6 +4,8 @@
     python -m repro experiments         # full experiment report
     python -m repro experiments --fast E3 E4
     python -m repro policy --target 1e-4 --failure-rate 0.01
+    python -m repro chaos --seed 1 --iterations 5
+    python -m repro chaos --replay chaos-artifacts/chaos-1-3.json
 """
 
 from __future__ import annotations
@@ -76,6 +78,40 @@ def _cmd_policy(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.chaos import ChaosConfig, explore, replay
+
+    if args.replay:
+        result, recorded, reproduced = replay(args.replay)
+        names = ", ".join(sorted({v["oracle"] for v in recorded})) or "(none)"
+        found = ", ".join(sorted(result.oracle_names())) or "(none)"
+        print(f"artifact oracles : {names}")
+        print(f"replay oracles   : {found}")
+        print(f"reproduced       : {'yes' if reproduced else 'NO'}")
+        return 0 if reproduced else 1
+
+    config = ChaosConfig(
+        n_servers=args.servers,
+        n_sessions=args.sessions,
+        duration=args.duration,
+        profile=args.profile,
+        plant=args.plant,
+    )
+    report = explore(
+        config,
+        seed=args.seed,
+        iterations=args.iterations,
+        artifact_dir=args.artifact_dir,
+        shrink_budget=args.shrink_budget,
+        echo=print,
+    )
+    print(report.summary())
+    if config.plant is not None:
+        # validation mode: the planted bug MUST be found
+        return 0 if report.violations_found > 0 else 1
+    return 1 if report.violations_found > 0 else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -94,6 +130,36 @@ def main(argv: list[str] | None = None) -> int:
     policy.add_argument("--failure-rate", type=float, required=True)
     policy.add_argument("--period", type=float, default=0.5)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault-space search with invariant oracles "
+        "(exit 0 = clean; with --plant, exit 0 = bug found)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--iterations", type=int, default=5)
+    chaos.add_argument(
+        "--profile",
+        choices=("crashes", "partitions", "gray", "mixed"),
+        default="mixed",
+    )
+    chaos.add_argument("--servers", type=int, default=4)
+    chaos.add_argument("--sessions", type=int, default=2)
+    chaos.add_argument("--duration", type=float, default=20.0)
+    chaos.add_argument(
+        "--plant",
+        choices=("handoff-stall",),
+        default=None,
+        help="deliberately weaken the implementation to validate the engine",
+    )
+    chaos.add_argument("--artifact-dir", default="chaos-artifacts")
+    chaos.add_argument("--shrink-budget", type=int, default=48)
+    chaos.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        help="re-run a repro artifact instead of exploring",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _cmd_demo(args)
@@ -101,6 +167,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiments(args)
     if args.command == "policy":
         return _cmd_policy(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return 2  # pragma: no cover
 
 

@@ -1,0 +1,75 @@
+"""Repro artifacts: a found failure as a self-contained JSON file.
+
+An artifact carries everything a deterministic re-run needs — the chaos
+config, the run seed, and the (shrunk) schedule — plus the violations it
+produced, so ``python -m repro chaos --replay <file>`` re-triggers the
+identical oracle failure with no other context.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.chaos.config import ChaosConfig
+from repro.chaos.oracles import Violation
+from repro.faults.schedule import FaultSchedule
+
+FORMAT = "repro-chaos/1"
+
+
+def write_artifact(
+    path: str | Path,
+    *,
+    config: ChaosConfig,
+    seed: int,
+    schedule: FaultSchedule,
+    violations: list[Violation],
+    profile: str,
+    original_event_count: int,
+    shrink_runs: int,
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": FORMAT,
+        "seed": seed,
+        "profile": profile,
+        "config": config.to_json(),
+        "schedule": schedule.to_json(),
+        "violations": [v.to_json() for v in violations],
+        "original_event_count": original_event_count,
+        "shrunk_event_count": len(schedule),
+        "shrink_runs": shrink_runs,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path: str | Path) -> dict:
+    """Parse and validate an artifact; returns a dict with ``config``
+    (:class:`ChaosConfig`), ``seed``, ``schedule`` (:class:`FaultSchedule`)
+    and the recorded ``violations`` (as plain dicts)."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("format") != FORMAT:
+        raise ValueError(
+            f"{path} is not a {FORMAT} artifact (format={data.get('format')!r})"
+            if isinstance(data, dict)
+            else f"{path} is not a JSON object"
+        )
+    try:
+        seed = int(data["seed"])
+        config = ChaosConfig.from_json(data["config"])
+        schedule = FaultSchedule.from_json(data["schedule"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed chaos artifact {path}: {exc}") from exc
+    return {
+        "seed": seed,
+        "config": config,
+        "schedule": schedule,
+        "violations": data.get("violations", []),
+        "profile": data.get("profile"),
+    }
+
+
+__all__ = ["FORMAT", "load_artifact", "write_artifact"]

@@ -1,0 +1,136 @@
+"""Chaos run configuration and the planted-bug registry.
+
+A :class:`ChaosConfig` pins everything about one exploration *except* the
+randomness: cluster shape, run phase lengths, oracle tolerances, and an
+optional **planted bug**.  Plants deliberately weaken the implementation
+(e.g. disable the handoff-timeout fallback) so the engine's whole pipeline
+— find, shrink, persist, replay — can be validated end-to-end against a
+failure that is known to exist.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.config import AvailabilityPolicy
+
+#: Named deliberate weakenings used to validate the chaos pipeline.
+#:
+#: ``handoff-stall`` removes the handoff-timeout fallback: a successor
+#: primary selected by a *controlled* migration waits for the old
+#: primary's context forever.  If the old primary dies before sending it
+#: (exactly what the ``pre-handoff`` crash hook provokes), the session
+#: goes silent — the responsiveness and convergence oracles both fire.
+PLANTS = ("handoff-stall",)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Shape and tolerances of one chaos exploration.
+
+    Attributes:
+        n_servers: cluster size.  One server (the highest-numbered) is the
+            **spare**: generators never crash, slow down, or isolate it,
+            so at least one fully-informed witness always survives — the
+            precondition for the lost-update and convergence oracles.
+        n_sessions: concurrent live sessions (one client + VoD viewer
+            workload each), each on its own fully-replicated unit.
+        duration: length of the fault-injection window (seconds).
+        establish: run time between starting sessions and injecting
+            faults (lets streaming reach steady state).
+        settle: run time after healing everything, before the oracles
+            look (convergence allowance).
+        profile: fault mix — ``crashes``, ``partitions``, ``gray`` or
+            ``mixed`` (each iteration samples one of the three).
+        max_gap: responsiveness bound — the longest response silence
+            tolerated *inside clean windows* before the oracle fires.
+        overlap_tolerance: role-overlap / dual-sender time tolerated
+            inside clean windows (absorbs benign handover edges).
+        stabilize_margin: padding added around every disruption when
+            computing clean windows (failover + view-formation allowance).
+        plant: optional planted bug name from :data:`PLANTS`.
+    """
+
+    n_servers: int = 4
+    n_sessions: int = 2
+    duration: float = 20.0
+    establish: float = 3.0
+    settle: float = 10.0
+    profile: str = "mixed"
+    max_gap: float = 5.0
+    overlap_tolerance: float = 0.5
+    stabilize_margin: float = 2.0
+    plant: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 3:
+            raise ValueError("chaos needs >= 3 servers (one is the spare)")
+        if self.n_sessions < 1:
+            raise ValueError("n_sessions must be >= 1")
+        if self.profile not in ("crashes", "partitions", "gray", "mixed"):
+            raise ValueError(f"unknown profile {self.profile!r}")
+        if self.plant is not None and self.plant not in PLANTS:
+            raise ValueError(f"unknown plant {self.plant!r} (valid: {PLANTS})")
+
+    # ------------------------------------------------------------------
+    # derived topology
+    # ------------------------------------------------------------------
+    @property
+    def server_ids(self) -> list[str]:
+        return [f"s{i}" for i in range(self.n_servers)]
+
+    @property
+    def spare(self) -> str:
+        """The never-faulted witness server."""
+        return f"s{self.n_servers - 1}"
+
+    @property
+    def faultable_servers(self) -> list[str]:
+        return [s for s in self.server_ids if s != self.spare]
+
+    @property
+    def client_ids(self) -> list[str]:
+        return [f"c{i}" for i in range(self.n_sessions)]
+
+    @property
+    def unit_ids(self) -> list[str]:
+        """All sessions share ONE content unit.  This matters: the
+        join-type rebalance caps primaries per server at
+        ``ceil(sessions/servers)`` *within a unit*, so only a multi-session
+        unit ever performs controlled migrations (primary moves between
+        two live servers — the protocol step the handoff machinery and its
+        crash hooks exist for).  One session per unit would never migrate
+        except by failure."""
+        return ["m0"]
+
+    def build_policy(self) -> AvailabilityPolicy:
+        """Full session groups (every server backs every session) so the
+        spare always holds a backup context — what makes "an update
+        vanished silently" a true invariant rather than the paper's
+        accepted probabilistic loss."""
+        policy = AvailabilityPolicy(
+            num_backups=self.n_servers - 1,
+            propagation_period=0.25,
+        )
+        if self.plant == "handoff-stall":
+            # the bug: successor waits (effectively) forever for a handoff
+            policy.handoff_timeout = 1e9
+        return policy
+
+    # ------------------------------------------------------------------
+    # persistence (repro artifacts embed the config)
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChaosConfig":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(f"unknown chaos config keys: {sorted(unknown)}")
+        return cls(**data)
+
+
+__all__ = ["PLANTS", "ChaosConfig"]

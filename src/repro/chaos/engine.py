@@ -1,0 +1,159 @@
+"""The chaos exploration loop: generate → run → check → shrink → persist.
+
+Each iteration derives its own generator RNG and run seed from the root
+seed, draws a random layered fault schedule, executes it against a live
+cluster, and evaluates the invariant oracles.  On a violation the engine
+delta-debugs the schedule down to a minimal failing subsequence and
+writes a replayable repro artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.chaos.artifact import load_artifact, write_artifact
+from repro.chaos.config import ChaosConfig
+from repro.chaos.generator import generate_schedule, resolve_profile
+from repro.chaos.runner import RunResult, run_schedule
+from repro.chaos.shrink import shrink_events
+from repro.faults.schedule import FaultSchedule
+
+
+@dataclass
+class IterationOutcome:
+    index: int
+    run_seed: int
+    profile: str
+    event_count: int
+    result: RunResult
+    shrunk: FaultSchedule | None = None
+    shrink_runs: int = 0
+    artifact_path: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.result.failed
+
+
+@dataclass
+class ExplorationReport:
+    config: ChaosConfig
+    root_seed: int
+    iterations: list[IterationOutcome] = field(default_factory=list)
+
+    @property
+    def violations_found(self) -> int:
+        return sum(1 for it in self.iterations if it.failed)
+
+    @property
+    def artifacts(self) -> list[str]:
+        return [it.artifact_path for it in self.iterations if it.artifact_path]
+
+    def summary(self) -> str:
+        plant = f", plant {self.config.plant}" if self.config.plant else ""
+        return (
+            f"chaos: {len(self.iterations)} iteration(s), seed {self.root_seed}, "
+            f"profile {self.config.profile}{plant} -> "
+            f"{self.violations_found} violation(s), "
+            f"{len(self.artifacts)} artifact(s)"
+        )
+
+
+def _run_seed(root_seed: int, index: int) -> int:
+    """Deterministic per-iteration run seed, decoupled from the generator
+    stream so adding generator draws never changes the run."""
+    return (root_seed * 1_000_003 + index * 8_191 + 1) % (2**31 - 1)
+
+
+def explore(
+    config: ChaosConfig,
+    seed: int,
+    iterations: int,
+    artifact_dir: str | Path | None = None,
+    shrink_budget: int = 48,
+    echo=None,
+) -> ExplorationReport:
+    """Run the exploration loop; returns the full report.
+
+    ``echo`` (e.g. ``print``) receives one progress line per iteration.
+    """
+    say = echo or (lambda _line: None)
+    report = ExplorationReport(config=config, root_seed=seed)
+    for index in range(iterations):
+        gen_rng = np.random.default_rng([seed, index])
+        profile = resolve_profile(config, index)
+        schedule = generate_schedule(gen_rng, config, profile)
+        run_seed = _run_seed(seed, index)
+        result = run_schedule(config, run_seed, schedule)
+        outcome = IterationOutcome(
+            index=index,
+            run_seed=run_seed,
+            profile=profile,
+            event_count=len(schedule),
+            result=result,
+        )
+        report.iterations.append(outcome)
+        if not result.failed:
+            say(
+                f"[{index}] {profile:<10} {len(schedule):3d} events  "
+                f"{result.responses:5d} responses  ok"
+            )
+            continue
+
+        names = ", ".join(sorted(result.oracle_names()))
+        say(
+            f"[{index}] {profile:<10} {len(schedule):3d} events  "
+            f"VIOLATION ({names}) — shrinking..."
+        )
+        target = sorted(result.oracle_names())[0]
+
+        def still_fails(events) -> bool:
+            rerun = run_schedule(config, run_seed, FaultSchedule(events=list(events)))
+            return target in rerun.oracle_names()
+
+        shrunk_events, runs = shrink_events(
+            schedule.sorted_events(), still_fails, budget=shrink_budget
+        )
+        shrunk = FaultSchedule(events=shrunk_events)
+        final = run_schedule(config, run_seed, shrunk)
+        outcome.shrunk = shrunk
+        outcome.shrink_runs = runs
+        say(
+            f"    shrunk {len(schedule)} -> {len(shrunk)} events "
+            f"in {runs} re-runs (oracle: {target})"
+        )
+        if artifact_dir is not None:
+            path = Path(artifact_dir) / f"chaos-{seed}-{index}.json"
+            write_artifact(
+                path,
+                config=config,
+                seed=run_seed,
+                schedule=shrunk,
+                violations=final.violations or result.violations,
+                profile=profile,
+                original_event_count=len(schedule),
+                shrink_runs=runs,
+            )
+            outcome.artifact_path = str(path)
+            say(f"    artifact: {path}")
+    return report
+
+
+def replay(path: str | Path) -> tuple[RunResult, list[dict], bool]:
+    """Re-run an artifact exactly.
+
+    Returns ``(result, recorded_violations, reproduced)`` where
+    ``reproduced`` is true when every recorded oracle fired again.
+    """
+    artifact = load_artifact(path)
+    result = run_schedule(artifact["config"], artifact["seed"], artifact["schedule"])
+    recorded = artifact["violations"]
+    recorded_oracles = {v["oracle"] for v in recorded}
+    reproduced = bool(recorded_oracles) and recorded_oracles <= result.oracle_names()
+    return result, recorded, reproduced
+
+
+__all__ = ["ExplorationReport", "IterationOutcome", "explore", "replay"]

@@ -1,0 +1,56 @@
+"""Schedule shrinking: ddmin over the fault-event list.
+
+When a random schedule trips an oracle it usually contains dozens of
+irrelevant events.  Because a run is a pure function of ``(config, seed,
+schedule)``, we can delta-debug: re-run deterministic sub-schedules and
+keep the smallest one that still fails the *same* oracle.  This is
+Zeller's ddmin over the time-sorted event list — remove chunk complements
+at increasing granularity, restart coarse whenever a removal sticks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.schedule import FaultEvent
+
+
+def shrink_events(
+    events: list[FaultEvent],
+    still_fails: Callable[[list[FaultEvent]], bool],
+    budget: int = 48,
+) -> tuple[list[FaultEvent], int]:
+    """Minimal (1-chunk-removal-stable) failing subsequence of ``events``.
+
+    ``still_fails`` re-runs the candidate and reports whether the original
+    oracle violation reproduces.  ``budget`` caps the number of re-runs —
+    shrinking is best-effort, never wrong: whatever it returns has been
+    *observed* to fail.  Returns ``(events, runs_used)``.
+    """
+    current = list(events)
+    runs = 0
+    granularity = 2
+    while len(current) >= 2 and runs < budget:
+        chunk = max(1, (len(current) + granularity - 1) // granularity)
+        boundaries = list(range(0, len(current), chunk))
+        reduced = False
+        for start in boundaries:
+            candidate = current[:start] + current[start + chunk :]
+            if not candidate or len(candidate) == len(current):
+                continue
+            runs += 1
+            if still_fails(candidate):
+                current = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+            if runs >= budget:
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current, runs
+
+
+__all__ = ["shrink_events"]

@@ -100,11 +100,29 @@ class AvailabilityManager:
     max_backups: int = 4
     auto_spawn: bool = False
     crash_times: list[float] = field(default_factory=list)
+    recovery_times: list[float] = field(default_factory=list)
     decisions: list[ManagerDecision] = field(default_factory=list)
     spawned: list[str] = field(default_factory=list)
 
     def record_crash(self, time: float) -> None:
         self.crash_times.append(time)
+
+    def record_recovery(self, time: float) -> None:
+        """Symmetric with :meth:`record_crash`: the injector reports
+        repairs too, so the manager can reason about mean downtime (and so
+        chaos traces of manager activity show both edges of an outage)."""
+        self.recovery_times.append(time)
+
+    def observed_mean_downtime(self, now: float) -> float:
+        """Mean crash-to-recovery gap inside the window (best-effort pairing
+        of each recovery with the latest earlier crash)."""
+        recent = [t for t in self.recovery_times if now - t <= self.window]
+        gaps = []
+        for recovery in recent:
+            earlier = [t for t in self.crash_times if t <= recovery]
+            if earlier:
+                gaps.append(recovery - max(earlier))
+        return sum(gaps) / len(gaps) if gaps else 0.0
 
     def observed_failure_rate(self, now: float) -> float:
         """Per-server crash rate (crashes/second/server) in the window."""

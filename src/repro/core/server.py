@@ -23,8 +23,9 @@ server-side logic:
 
 from __future__ import annotations
 
+import copy
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterable
 
 from repro.core.application import ServiceApplication
@@ -54,6 +55,23 @@ from repro.gcs.settings import GcsSettings
 from repro.gcs.view import GroupView
 from repro.sim.network import Network
 from repro.sim.topology import NodeId
+
+#: Named protocol steps at which a chaos schedule can arm a crash
+#: (``FaultSchedule.crash_at``).  Each fires *when the server enters the
+#: step*, which is how Section 4's "crash at the worst moment" patterns
+#: become directly expressible: ``pre-handoff`` kills the old primary after
+#: it was demoted but before its context reaches the successor;
+#: ``post-update`` kills a primary between applying a ``ContextUpdate`` and
+#: the next ``Propagate``; ``mid-exchange`` kills a member that already
+#: contributed its state-exchange snapshot but has not merged.
+CRASH_HOOKS = (
+    "post-promote",  # primary role adopted (session group joined)
+    "pre-handoff",  # demoted primary about to send its context
+    "post-handoff",  # successor adopted a handed-off context
+    "post-update",  # client context update applied, not yet propagated
+    "pre-propagate",  # about to multicast a context snapshot
+    "mid-exchange",  # own state-exchange snapshot sent, merge pending
+)
 
 
 @dataclass
@@ -129,6 +147,10 @@ class FrameworkServer:
         )
         self.sim = self.daemon.sim
         self.counters: Counter = Counter()
+        # chaos instrumentation: armed crash-at-step traps.  Deliberately
+        # NOT part of the volatile state — a trap armed while the server is
+        # down survives recovery (the fault, not the server, owns it).
+        self._crash_hooks: Counter = Counter()
         self._reset_volatile()
 
     def _reset_volatile(self) -> None:
@@ -177,6 +199,35 @@ class FrameworkServer:
         self.daemon.join(service_group())
         for unit in self.hosted_units:
             self.daemon.join(content_group(unit))
+
+    # ------------------------------------------------------------------
+    # chaos crash hooks
+    # ------------------------------------------------------------------
+    def arm_crash_hook(self, hook: str, times: int = 1) -> None:
+        """Arm a crash that fires the next ``times`` times this server
+        enters the named protocol step (see :data:`CRASH_HOOKS`)."""
+        if hook not in CRASH_HOOKS:
+            raise ValueError(f"unknown crash hook {hook!r} (valid: {CRASH_HOOKS})")
+        self._crash_hooks[hook] += times
+
+    def disarm_crash_hooks(self) -> None:
+        """Drop every armed-but-unfired trap (the chaos heal phase calls
+        this so a leftover trap cannot crash the server during the
+        convergence window the oracles treat as fault-free)."""
+        self._crash_hooks.clear()
+
+    def _chaos_hook(self, hook: str) -> None:
+        if self._crash_hooks.get(hook, 0) <= 0:
+            return
+        self._crash_hooks[hook] -= 1
+        self.daemon.trace("fw.crash_hook", hook=hook)
+        # Die *at this instant* without dying inline: muting output makes
+        # everything the current handler says after the hook point vanish
+        # (the crash is semantically here), while the actual teardown runs
+        # as a zero-delay event so the handler finishes without tripping
+        # over set_timer-on-a-crashed-process.
+        self.daemon.mute_sends()
+        self.sim.schedule(0.0, self.crash, label=f"crash-hook:{self.server_id}")
 
     # ------------------------------------------------------------------
     # introspection used by experiments and tests
@@ -369,6 +420,7 @@ class FrameworkServer:
             label=f"propagate:{session_id}",
         )
         self._arm_response_timer(session_id)
+        self._chaos_hook("post-promote")
 
     def _stop_primary(self, session_id: str, successor: NodeId | None) -> None:
         runtime = self.primaries.pop(session_id, None)
@@ -419,6 +471,7 @@ class FrameworkServer:
         self.daemon.set_timer(self.policy.leave_grace, leave, label="leave-grace")
 
     def _send_handoff(self, lingering: _LingeringPrimary) -> None:
+        self._chaos_hook("pre-handoff")
         snapshot = lingering.ctx.snapshot(self.sim.now)
         self.daemon.send_ptp(
             lingering.successor,
@@ -431,6 +484,31 @@ class FrameworkServer:
         )
         self.counters["handoffs_sent"] += 1
 
+    def _adopt_snapshot(
+        self, runtime: _PrimaryRuntime, snapshot: ContextSnapshot
+    ) -> bool:
+        """Replace the runtime context with a strictly more knowledgeable
+        snapshot (replaying any pending updates it missed); returns
+        whether an adoption happened.
+
+        The epoch is deliberately NOT compared: epochs of concurrent
+        primaries (a transient dual-primary during instability) are
+        different lineages, and an epoch-fresher but update-poorer context
+        must never overwrite updates this primary already applied."""
+        incoming = (snapshot.update_counter, snapshot.response_counter)
+        current = (runtime.ctx.update_counter, runtime.ctx.response_counter)
+        if incoming <= current:
+            return False
+        app = self.applications[runtime.unit_id]
+        ctx = PrimaryContext.from_snapshot(snapshot)
+        for counter, update in sorted(runtime.pending_updates):
+            if counter > ctx.update_counter:
+                ctx.app_state = app.apply_update(ctx.app_state, update)
+                ctx.update_counter = counter
+        ctx.epoch = max(ctx.epoch, runtime.ctx.epoch)
+        runtime.ctx = ctx
+        return True
+
     def _on_handoff(self, handoff: Handoff) -> None:
         runtime = self.primaries.get(handoff.session_id)
         if runtime is None:
@@ -438,27 +516,11 @@ class FrameworkServer:
         if runtime.awaiting_handoff:
             runtime.awaiting_handoff = False
             self.counters["handoffs_adopted"] += 1
-            self._arm_response_timer(handoff.session_id)
-        # Adopt only a strictly more knowledgeable context.  The epoch is
-        # deliberately NOT compared: epochs of concurrent primaries (a
-        # transient dual-primary during instability) are different
-        # lineages, and an epoch-fresher but update-poorer context must
-        # never overwrite updates this primary already applied.
-        incoming = (
-            handoff.snapshot.update_counter,
-            handoff.snapshot.response_counter,
-        )
-        current = (runtime.ctx.update_counter, runtime.ctx.response_counter)
-        if incoming <= current:
-            return
-        app = self.applications[runtime.unit_id]
-        ctx = PrimaryContext.from_snapshot(handoff.snapshot)
-        for counter, update in sorted(runtime.pending_updates):
-            if counter > ctx.update_counter:
-                ctx.app_state = app.apply_update(ctx.app_state, update)
-                ctx.update_counter = counter
-        ctx.epoch = max(ctx.epoch, runtime.ctx.epoch)
-        runtime.ctx = ctx
+        if self._adopt_snapshot(runtime, handoff.snapshot):
+            self._chaos_hook("post-handoff")
+        # the adopted context may have changed the streaming cadence
+        # (e.g. a 'resume' the successor never saw): ensure a timer runs
+        self._arm_response_timer(handoff.session_id)
 
     def _handoff_timeout(self, session_id: str) -> None:
         runtime = self.primaries.get(session_id)
@@ -534,6 +596,7 @@ class FrameworkServer:
                 runtime.pending_updates.append((update.counter, update.update))
                 if len(runtime.pending_updates) > 64:
                     del runtime.pending_updates[:-64]
+                self._chaos_hook("post-update")
                 if not runtime.awaiting_handoff:
                     state, responses = app.respond_to_update(
                         runtime.ctx.app_state, update.update
@@ -585,6 +648,7 @@ class FrameworkServer:
         runtime = self.primaries.get(session_id)
         if runtime is None or runtime.awaiting_handoff:
             return
+        self._chaos_hook("pre-propagate")
         snapshot = runtime.ctx.snapshot(self.sim.now)
         self.daemon.mcast(
             content_group(runtime.unit_id),
@@ -718,6 +782,42 @@ class FrameworkServer:
             self._apply_allocation(unit, view, allocation, cause="failure")
             self.counters["failure_reallocations"] += 1
 
+    def _exchange_snapshot(self, unit: str) -> dict:
+        """The unit database dump this member contributes to an exchange,
+        upgraded with its own live knowledge.
+
+        The database only holds the last *propagated* snapshot of each
+        session, but this member may know strictly more: a backup's
+        recorded update log, or an incumbent primary's live counters.
+        Views can briefly exclude a live member (a merge racing the
+        failure detector), and updates delivered only inside the excluded
+        member's configuration would otherwise be silently forgotten by
+        the merge — the exchange must offer the freshest context each
+        member can actually reconstruct, not just the last propagation."""
+        dump = self.unit_dbs[unit].snapshot_for_exchange()
+        app = self.applications[unit]
+        for session_id, record in list(dump.items()):
+            best = record.snapshot
+            runtime = self.primaries.get(session_id)
+            if runtime is not None and runtime.unit_id == unit:
+                live = ContextSnapshot(
+                    app_state=copy.deepcopy(runtime.ctx.app_state),
+                    update_counter=runtime.ctx.update_counter,
+                    response_counter=runtime.ctx.response_counter,
+                    stamped_at=self.sim.now,
+                    epoch=runtime.ctx.epoch,
+                )
+                if live.freshness_key() > best.freshness_key():
+                    best = live
+            backup = self.backups.get(session_id)
+            if backup is not None and self._backup_units.get(session_id) == unit:
+                effective = backup.effective(app.apply_update)
+                if effective.freshness_key() > best.freshness_key():
+                    best = effective
+            if best is not record.snapshot:
+                dump[session_id] = replace(record, snapshot=best)
+        return dump
+
     def _begin_exchange(self, unit: str, view: GroupView) -> None:
         self._exchanges[unit] = {"key": view.view_key, "received": {}}
         self.daemon.mcast(
@@ -726,11 +826,12 @@ class FrameworkServer:
                 unit_id=unit,
                 view_key=view.view_key,
                 sender=self.server_id,
-                db_snapshot=self.unit_dbs[unit].snapshot_for_exchange(),
+                db_snapshot=self._exchange_snapshot(unit),
             ),
             size=2 + len(self.unit_dbs[unit]),
         )
         self.counters["exchanges_started"] += 1
+        self._chaos_hook("mid-exchange")
 
     def _on_state_exchange(self, message: StateExchange) -> None:
         unit = message.unit_id
@@ -788,6 +889,10 @@ class FrameworkServer:
                 if session_id in self.backups:
                     app = self.applications[unit]
                     snapshot = self.backups[session_id].effective(app.apply_update)
+                    # a state-exchange merge may know more than this
+                    # member's own backup log (another member's updates)
+                    if record.snapshot.freshness_key() > snapshot.freshness_key():
+                        snapshot = record.snapshot
                     self.backups.pop(session_id, None)
                     self._backup_units.pop(session_id, None)
                 else:
@@ -800,6 +905,17 @@ class FrameworkServer:
                     uncertain=not controlled,
                     await_handoff=controlled,
                 )
+            elif primary == self.server_id and session_id in self.primaries:
+                # Kept the role through a view change — but the merged
+                # record may carry updates this primary never saw (they
+                # were delivered only inside a configuration a view
+                # briefly excluded this member from).  The freshest
+                # context wins the merge, so adopt it; the session would
+                # otherwise silently lose an acknowledged update.
+                runtime = self.primaries[session_id]
+                if self._adopt_snapshot(runtime, record.snapshot):
+                    self.counters["merge_adoptions"] += 1
+                    self._arm_response_timer(session_id)
             elif primary != self.server_id and session_id in self.primaries:
                 self._stop_primary(session_id, successor=primary)
 
@@ -809,8 +925,15 @@ class FrameworkServer:
                 and primary != self.server_id
             ):
                 self._start_backup(session_id, unit, record.snapshot)
+            elif (
+                self.server_id in backups
+                and session_id in self.backups
+                and primary != self.server_id
+            ):
+                # freshness-guarded: a no-op unless the merge knew more
+                self.backups[session_id].rebase(record.snapshot)
             elif self.server_id not in backups and session_id in self.backups:
                 self._stop_backup(session_id)
 
 
-__all__ = ["FrameworkServer"]
+__all__ = ["CRASH_HOOKS", "FrameworkServer"]

@@ -116,6 +116,9 @@ class ServiceCluster:
             trace=trace_log,
             loss_probability=loss_probability,
             loss_rng=rngs.stream("loss") if loss_probability > 0 else None,
+            # dedicated stream so chaos adversity (duplication/reordering)
+            # never perturbs the latency/loss draws of existing experiments
+            chaos_rng=rngs.stream("chaos-net"),
         )
         monitor = SpecMonitor()
 

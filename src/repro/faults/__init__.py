@@ -1,8 +1,28 @@
 """Fault injection: schedules, random generators, and the injector that
 applies them to a running cluster."""
 
-from repro.faults.generators import poisson_crash_schedule
+from repro.faults.generators import (
+    crash_burst_schedule,
+    crash_hook_schedule,
+    flapping_partition_schedule,
+    link_delay_spike_schedule,
+    message_adversity_schedule,
+    poisson_crash_schedule,
+    slowdown_schedule,
+)
 from repro.faults.injector import inject
-from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.faults.schedule import FaultEvent, FaultSchedule, VALID_KINDS
 
-__all__ = ["FaultEvent", "FaultSchedule", "inject", "poisson_crash_schedule"]
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "VALID_KINDS",
+    "crash_burst_schedule",
+    "crash_hook_schedule",
+    "flapping_partition_schedule",
+    "inject",
+    "link_delay_spike_schedule",
+    "message_adversity_schedule",
+    "poisson_crash_schedule",
+    "slowdown_schedule",
+]

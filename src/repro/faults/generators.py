@@ -2,8 +2,11 @@
 
 The Section-4 experiments need repeatable random fault workloads: Poisson
 crash/recovery processes per server, correlated crash bursts, and flapping
-partitions.  All generators are pure functions of an RNG, returning a
-:class:`~repro.faults.schedule.FaultSchedule`.
+partitions.  The chaos engine adds gray-failure processes on top: slowdown
+windows, per-link delay spikes, duplication/reordering windows, and
+crash-at-protocol-step arming.  All generators are pure functions of an
+RNG, returning a :class:`~repro.faults.schedule.FaultSchedule`; layered
+workloads are built with :meth:`FaultSchedule.merged`.
 """
 
 from __future__ import annotations
@@ -92,8 +95,115 @@ def flapping_partition_schedule(
     return schedule
 
 
+def slowdown_schedule(
+    rng: np.random.Generator,
+    servers: list[str],
+    duration: float,
+    rate: float,
+    mean_slow: float = 2.0,
+    delay_range: tuple[float, float] = (0.05, 0.6),
+    spare: str | None = None,
+) -> FaultSchedule:
+    """Gray failures: servers intermittently go *slow* (not down).
+
+    Each server alternates full speed (exponential with ``rate``) and a
+    slowdown window (exponential mean ``mean_slow``) during which every
+    handler/timer dispatch lags by a uniform draw from ``delay_range`` —
+    the degraded-but-alive mode a crash-only vocabulary cannot express.
+    """
+    schedule = FaultSchedule()
+    for server in servers:
+        if server == spare:
+            continue
+        t = 0.0
+        while rate > 0:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= duration:
+                break
+            delay = float(rng.uniform(*delay_range))
+            schedule.slowdown(t, server, delay)
+            t += float(rng.exponential(mean_slow))
+            if t >= duration:
+                break
+            schedule.restore_speed(t, server)
+    return schedule
+
+
+def link_delay_spike_schedule(
+    rng: np.random.Generator,
+    servers: list[str],
+    duration: float,
+    spikes: int,
+    extra_range: tuple[float, float] = (0.02, 0.25),
+    mean_spike: float = 1.5,
+) -> FaultSchedule:
+    """Transient congestion: ``spikes`` random server pairs suffer an extra
+    one-way delay for an exponential-length window."""
+    schedule = FaultSchedule()
+    if len(servers) < 2:
+        return schedule
+    for _ in range(spikes):
+        at = float(rng.uniform(0.0, duration))
+        a, b = rng.choice(servers, size=2, replace=False)
+        extra = float(rng.uniform(*extra_range))
+        until = min(duration, at + float(rng.exponential(mean_spike)))
+        schedule.delay_link(at, str(a), str(b), extra)
+        schedule.restore_delay(until, str(a), str(b))
+    return schedule
+
+
+def message_adversity_schedule(
+    rng: np.random.Generator,
+    duration: float,
+    duplicate_probability: float = 0.05,
+    reorder_probability: float = 0.05,
+    reorder_window: float = 0.05,
+) -> FaultSchedule:
+    """One window of network-level adversity (duplication + bounded
+    reordering) covering a random span of the run."""
+    schedule = FaultSchedule()
+    start = float(rng.uniform(0.0, duration / 2))
+    end = float(rng.uniform(start, duration))
+    if duplicate_probability > 0:
+        schedule.duplicate(start, duplicate_probability)
+        schedule.duplicate(end, 0.0)
+    if reorder_probability > 0:
+        schedule.reorder(start, reorder_probability, reorder_window)
+        schedule.reorder(end, 0.0, 0.0)
+    return schedule
+
+
+def crash_hook_schedule(
+    rng: np.random.Generator,
+    servers: list[str],
+    duration: float,
+    hooks: list[str],
+    count: int = 1,
+    spare: str | None = None,
+) -> FaultSchedule:
+    """Arm ``count`` crash-at-protocol-step traps on random servers: the
+    crash fires when the victim next enters the named step (mid-handoff,
+    between update and propagation, during state exchange, ...) — the
+    paper's "crash at the worst possible moment" patterns, found by search
+    instead of by hand."""
+    schedule = FaultSchedule()
+    victims = [s for s in servers if s != spare]
+    if not victims or not hooks:
+        return schedule
+    for _ in range(count):
+        at = float(rng.uniform(0.0, duration))
+        victim = str(rng.choice(victims))
+        hook = str(rng.choice(hooks))
+        schedule.crash_at(at, victim, hook)
+    return schedule
+
+
 __all__ = [
     "crash_burst_schedule",
+    "crash_hook_schedule",
     "flapping_partition_schedule",
+    "link_delay_spike_schedule",
+    "message_adversity_schedule",
     "poisson_crash_schedule",
+    "slowdown_schedule",
 ]

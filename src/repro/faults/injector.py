@@ -1,22 +1,42 @@
-"""Applies a fault schedule to a running cluster."""
+"""Applies a fault schedule to a running cluster.
+
+Every applied event is recorded in the cluster's trace log under a
+``fault.<kind>`` category, so a chaos repro's event log shows the injected
+faults inline with the protocol events they provoked — the single
+interleaved timeline that makes a shrunk schedule debuggable.
+"""
 
 from __future__ import annotations
 
 from repro.faults.schedule import FaultEvent, FaultSchedule
 
 
+def _trace(cluster, event: FaultEvent) -> None:
+    cluster.network.trace.record(
+        cluster.sim.now,
+        event.target if event.target is not None else "net",
+        f"fault.{event.kind}",
+        **event.args,
+    )
+
+
 def _apply(cluster, event: FaultEvent) -> None:
+    _trace(cluster, event)
+    manager = getattr(cluster, "availability_manager", None)
     if event.kind == "crash":
         server = cluster.servers.get(event.target)
         if server is not None and server.is_up():
             server.crash()
-            manager = getattr(cluster, "availability_manager", None)
             if manager is not None:
                 manager.record_crash(cluster.sim.now)
     elif event.kind == "recover":
         server = cluster.servers.get(event.target)
         if server is not None and not server.is_up():
             server.recover()
+            # symmetric with record_crash: the manager's observed failure
+            # rate window should see repairs too, not only failures
+            if manager is not None and hasattr(manager, "record_recovery"):
+                manager.record_recovery(cluster.sim.now)
     elif event.kind == "partition":
         cluster.network.topology.partition(*event.args["components"])
     elif event.kind == "heal":
@@ -29,6 +49,36 @@ def _apply(cluster, event: FaultEvent) -> None:
         cluster.network.topology.restore_link(
             event.args["a"], event.args["b"], symmetric=event.args.get("symmetric", True)
         )
+    elif event.kind == "slowdown":
+        server = cluster.servers.get(event.target)
+        if server is not None:
+            server.daemon.set_dispatch_delay(float(event.args["delay"]))
+    elif event.kind == "restore_speed":
+        server = cluster.servers.get(event.target)
+        if server is not None:
+            server.daemon.set_dispatch_delay(0.0)
+    elif event.kind == "delay_link":
+        cluster.network.set_link_delay(
+            event.args["a"],
+            event.args["b"],
+            float(event.args["extra"]),
+            symmetric=event.args.get("symmetric", True),
+        )
+    elif event.kind == "restore_delay":
+        cluster.network.clear_link_delay(
+            event.args["a"], event.args["b"], symmetric=event.args.get("symmetric", True)
+        )
+    elif event.kind == "duplicate":
+        cluster.network.set_duplication(float(event.args["probability"]))
+    elif event.kind == "reorder":
+        cluster.network.set_reordering(
+            float(event.args["probability"]),
+            window=float(event.args.get("window", 0.05)),
+        )
+    elif event.kind == "crash_at":
+        server = cluster.servers.get(event.target)
+        if server is not None and hasattr(server, "arm_crash_hook"):
+            server.arm_crash_hook(event.args["hook"])
 
 
 def inject(cluster, schedule: FaultSchedule, offset: float | None = None) -> None:

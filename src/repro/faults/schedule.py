@@ -2,11 +2,30 @@
 
 A schedule is data, so experiments can log it, replay it, and hand the
 identical fault pattern to the framework and to each baseline — the only
-fair way to compare them.
+fair way to compare them.  The chaos engine (:mod:`repro.chaos`) relies on
+the same property in the other direction: because a schedule is plain
+data, a randomly generated one can be layered (:meth:`FaultSchedule.merged`),
+persisted (:meth:`FaultSchedule.to_json`), delta-debugged down to a minimal
+subsequence, and replayed bit-for-bit from a repro artifact.
+
+Beyond the original crash/partition vocabulary, the schedule speaks the
+gray-failure and message-adversity dialect Section 4's "crash at the worst
+moment" patterns need:
+
+* ``slowdown`` / ``restore_speed`` — a server stays up but dispatches
+  every handler and timer late (degraded-but-not-dead);
+* ``delay_link`` / ``restore_delay`` — a transient per-link latency spike;
+* ``duplicate`` — the network may deliver unicasts twice;
+* ``reorder`` — bounded FIFO violations on the wire;
+* ``crash_at`` — arm a crash that fires the next time the target server
+  enters a *named protocol step* (e.g. mid-handoff), the precision tool
+  for the paper's worst-moment crash scenarios.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -17,6 +36,13 @@ VALID_KINDS = {
     "heal",  # no args
     "cut_link",  # args: a, b, symmetric
     "restore_link",  # args: a, b, symmetric
+    "slowdown",  # target: server id; args: delay (seconds of dispatch lag)
+    "restore_speed",  # target: server id
+    "delay_link",  # args: a, b, extra, symmetric
+    "restore_delay",  # args: a, b, symmetric
+    "duplicate",  # args: probability (0 disables)
+    "reorder",  # args: probability, window (0 disables)
+    "crash_at",  # target: server id; args: hook (named protocol step)
 }
 
 
@@ -32,8 +58,19 @@ class FaultEvent:
     def __post_init__(self) -> None:
         if self.kind not in VALID_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not math.isfinite(self.time):
+            raise ValueError(f"fault time must be finite (got {self.time!r})")
         if self.time < 0:
             raise ValueError("fault time must be >= 0")
+
+    def key(self) -> tuple:
+        """A stable identity used for sorting and shrinking."""
+        return (
+            self.time,
+            self.kind,
+            str(self.target),
+            tuple(sorted((k, json.dumps(v, sort_keys=True)) for k, v in self.args.items())),
+        )
 
 
 @dataclass
@@ -64,11 +101,43 @@ class FaultSchedule:
     def restore_link(self, time: float, a, b, symmetric: bool = True) -> "FaultSchedule":
         return self.add(time, "restore_link", a=a, b=b, symmetric=symmetric)
 
+    def slowdown(self, time: float, server: str, delay: float) -> "FaultSchedule":
+        return self.add(time, "slowdown", server, delay=delay)
+
+    def restore_speed(self, time: float, server: str) -> "FaultSchedule":
+        return self.add(time, "restore_speed", server)
+
+    def delay_link(
+        self, time: float, a, b, extra: float, symmetric: bool = True
+    ) -> "FaultSchedule":
+        return self.add(time, "delay_link", a=a, b=b, extra=extra, symmetric=symmetric)
+
+    def restore_delay(self, time: float, a, b, symmetric: bool = True) -> "FaultSchedule":
+        return self.add(time, "restore_delay", a=a, b=b, symmetric=symmetric)
+
+    def duplicate(self, time: float, probability: float) -> "FaultSchedule":
+        return self.add(time, "duplicate", probability=probability)
+
+    def reorder(
+        self, time: float, probability: float, window: float = 0.05
+    ) -> "FaultSchedule":
+        return self.add(time, "reorder", probability=probability, window=window)
+
+    def crash_at(self, time: float, server: str, hook: str) -> "FaultSchedule":
+        """Arm a crash that fires when ``server`` next enters the named
+        protocol step (see ``repro.core.server.CRASH_HOOKS``)."""
+        return self.add(time, "crash_at", server, hook=hook)
+
     def sorted_events(self) -> list[FaultEvent]:
-        return sorted(self.events, key=lambda e: e.time)
+        return sorted(self.events, key=FaultEvent.key)
 
     def crashes(self) -> list[FaultEvent]:
         return [e for e in self.events if e.kind == "crash"]
+
+    def kinds(self) -> frozenset[str]:
+        """The set of fault kinds this schedule contains (oracles use it to
+        decide which invariants apply to a run)."""
+        return frozenset(e.kind for e in self.events)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -84,6 +153,61 @@ class FaultSchedule:
                 for e in self.events
             ]
         )
+
+    def merged(self, other: "FaultSchedule") -> "FaultSchedule":
+        """The time-sorted union of this schedule and ``other`` — how the
+        chaos generator layers independent fault processes (crashes +
+        partitions + gray failures) into one run."""
+        return FaultSchedule(
+            events=sorted(self.events + other.events, key=FaultEvent.key)
+        )
+
+    # ------------------------------------------------------------------
+    # persistence (chaos repro artifacts)
+    # ------------------------------------------------------------------
+    def to_json(self) -> list[dict]:
+        """A JSON-friendly dump; round-trips through :meth:`from_json`."""
+        return [
+            {
+                "time": event.time,
+                "kind": event.kind,
+                "target": event.target,
+                "args": event.args,
+            }
+            for event in self.sorted_events()
+        ]
+
+    @classmethod
+    def from_json(cls, data: list[dict]) -> "FaultSchedule":
+        """Rebuild a schedule from :meth:`to_json` output.
+
+        Validates aggressively — a repro artifact is untrusted input:
+        unknown kinds, non-finite or negative times, and malformed entries
+        are all rejected with a descriptive error.
+        """
+        if not isinstance(data, list):
+            raise ValueError(f"schedule JSON must be a list (got {type(data).__name__})")
+        events: list[FaultEvent] = []
+        for index, entry in enumerate(data):
+            if not isinstance(entry, dict):
+                raise ValueError(f"schedule entry {index} is not an object")
+            try:
+                time = float(entry["time"])
+                kind = entry["kind"]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"schedule entry {index} is malformed: {exc}") from exc
+            args = entry.get("args") or {}
+            if not isinstance(args, dict):
+                raise ValueError(f"schedule entry {index} args must be an object")
+            # FaultEvent.__post_init__ rejects NaN/inf/negative times and
+            # unknown kinds; re-raise with the entry index for debuggability.
+            try:
+                events.append(
+                    FaultEvent(time=time, kind=kind, target=entry.get("target"), args=args)
+                )
+            except ValueError as exc:
+                raise ValueError(f"schedule entry {index}: {exc}") from exc
+        return cls(events=events)
 
 
 __all__ = ["FaultEvent", "FaultSchedule", "VALID_KINDS"]

@@ -681,6 +681,17 @@ class GcsDaemon(Process):
             # another contact succeeded): acknowledge straight away.
             self.send(sender, ClientAck(mcast.request_id), kind="gcs.client_ack")
             return
+        if not self.members_of(mcast.group):
+            # No member of the target group is reachable in this daemon's
+            # configuration — e.g. it just recovered into a transient
+            # singleton view with a fresh group map.  Accepting the
+            # injection would "deliver" the message to nobody while the
+            # duplicate filter (merged into the next configuration)
+            # permanently suppresses any redelivery: an acknowledged
+            # update would vanish.  Stay silent instead; the client's ack
+            # timeout rotates it to a contact that can actually deliver.
+            self.trace("gcs.client_mcast_refused", group=mcast.group)
+            return
         if self.settings.end_to_end_client_acks:
             # End-to-end acknowledgement: ack only when the request is
             # actually *delivered* in the total order (see _deliver).  If

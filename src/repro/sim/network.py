@@ -11,8 +11,20 @@ Semantics, chosen to match what the paper's GCS assumes of its transport:
   the GCS's view-change flush has to reconcile state.
 * **No duplication, no corruption** — losses only, per the above.
 
+The chaos engine (:mod:`repro.chaos`) can deliberately weaken the last two
+guarantees through :meth:`Network.set_duplication` (a message may be
+delivered twice) and :meth:`Network.set_reordering` (a message may bypass
+the per-pair FIFO clamp with a bounded extra delay), and can inflate
+individual links via :meth:`Network.set_link_delay` — the gray-failure
+vocabulary Section 4's risk analysis worries about but hand-written fault
+schedules could not express.  All adversity draws come from a dedicated
+seeded ``chaos_rng`` stream, so a chaotic run stays bit-reproducible.
+
 The network also keeps per-node send/receive accounting by message *kind*,
-which experiment E2 (server load vs. configuration parameters) reads.
+which experiment E2 (server load vs. configuration parameters) reads, and
+per-*reason* drop counters (``random-loss``, ``disconnected-in-flight``,
+``receiver-down``, ...) so chaos runs and tests can assert why messages
+died rather than only how many.
 """
 
 from __future__ import annotations
@@ -53,6 +65,11 @@ class LinkStats:
     dropped: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    dropped_by_reason: dict[str, int] = field(default_factory=dict)
+
+    def record_drop(self, reason: str) -> None:
+        self.dropped += 1
+        self.dropped_by_reason[reason] = self.dropped_by_reason.get(reason, 0) + 1
 
 
 class Network:
@@ -71,6 +88,7 @@ class Network:
         trace: TraceLog | None = None,
         loss_probability: float = 0.0,
         loss_rng=None,
+        chaos_rng=None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError("loss_probability must be in [0, 1)")
@@ -82,6 +100,14 @@ class Network:
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self.loss_probability = loss_probability
         self._loss_rng = loss_rng
+        # chaos adversity (all off by default; see repro.chaos)
+        self._chaos_rng = chaos_rng
+        self.duplicate_probability = 0.0
+        self.reorder_probability = 0.0
+        self.reorder_window = 0.0
+        self._link_extra_delay: dict[tuple[NodeId, NodeId], float] = {}
+        self.total_duplicated = 0
+        self.total_reordered = 0
         self._handlers: dict[NodeId, Callable[[Message], None]] = {}
         self._is_up: dict[NodeId, Callable[[], bool]] = {}
         self._msg_ids = itertools.count()
@@ -96,6 +122,62 @@ class Network:
         self.total_sent = 0
         self.total_delivered = 0
         self.total_dropped = 0
+        self.dropped_by_reason: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # chaos adversity controls (all deterministic given chaos_rng's seed)
+    # ------------------------------------------------------------------
+    def _require_chaos_rng(self) -> None:
+        if self._chaos_rng is None:
+            raise ValueError(
+                "a seeded chaos_rng is required for duplication/reordering"
+            )
+
+    def set_duplication(self, probability: float) -> None:
+        """Deliver each unicast twice with the given probability (the
+        second copy lands shortly after the first, FIFO-exempt)."""
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("duplicate probability must be in [0, 1)")
+        if probability > 0.0:
+            self._require_chaos_rng()
+        self.duplicate_probability = probability
+
+    def set_reordering(self, probability: float, window: float = 0.05) -> None:
+        """With the given probability, delay a message by up to ``window``
+        extra seconds *and* exempt it from the per-pair FIFO clamp, so it
+        can arrive after messages sent later on the same link."""
+        if not 0.0 <= probability < 1.0:
+            raise ValueError("reorder probability must be in [0, 1)")
+        if window < 0.0:
+            raise ValueError("reorder window must be >= 0")
+        if probability > 0.0:
+            self._require_chaos_rng()
+        self.reorder_probability = probability
+        self.reorder_window = window
+
+    def set_link_delay(
+        self, a: NodeId, b: NodeId, extra: float, symmetric: bool = True
+    ) -> None:
+        """Add ``extra`` seconds of one-way delay to the ``a -> b`` link
+        (a transient congestion spike; pass ``extra=0`` via
+        :meth:`clear_link_delay` to lift it)."""
+        if extra < 0.0:
+            raise ValueError("extra link delay must be >= 0")
+        self._link_extra_delay[(a, b)] = extra
+        if symmetric:
+            self._link_extra_delay[(b, a)] = extra
+
+    def clear_link_delay(self, a: NodeId, b: NodeId, symmetric: bool = True) -> None:
+        self._link_extra_delay.pop((a, b), None)
+        if symmetric:
+            self._link_extra_delay.pop((b, a), None)
+
+    def clear_adversity(self) -> None:
+        """Lift every chaos-induced weakening (used by the heal phase)."""
+        self.duplicate_probability = 0.0
+        self.reorder_probability = 0.0
+        self.reorder_window = 0.0
+        self._link_extra_delay.clear()
 
     # ------------------------------------------------------------------
     # registration
@@ -164,16 +246,39 @@ class Network:
             return message
 
         latency = self.latency_model.sample(sender, receiver)
+        latency += self._link_extra_delay.get((sender, receiver), 0.0)
         arrival = self.sim.now + latency
-        # Enforce FIFO per ordered pair.
+        reordered = (
+            self.reorder_probability > 0.0
+            and sender != receiver
+            and self._chaos_rng.random() < self.reorder_probability
+        )
         key = (sender, receiver)
-        previous = self._last_delivery.get(key, -1.0)
-        if arrival <= previous:
-            arrival = previous + 1e-9
-        self._last_delivery[key] = arrival
+        if reordered:
+            # FIFO-exempt: an extra bounded delay without advancing the
+            # pair's monotone clamp, so later sends can overtake this one.
+            arrival += float(self._chaos_rng.uniform(0.0, self.reorder_window))
+            self.total_reordered += 1
+        else:
+            # Enforce FIFO per ordered pair.
+            previous = self._last_delivery.get(key, -1.0)
+            if arrival <= previous:
+                arrival = previous + 1e-9
+            self._last_delivery[key] = arrival
         self.sim.schedule_at(
             arrival, lambda: self._deliver(message), label=f"deliver:{kind}"
         )
+        if (
+            self.duplicate_probability > 0.0
+            and sender != receiver
+            and self._chaos_rng.random() < self.duplicate_probability
+        ):
+            # the duplicate trails the original and skips the FIFO clamp
+            echo = arrival + float(self._chaos_rng.uniform(0.0, 0.002))
+            self.total_duplicated += 1
+            self.sim.schedule_at(
+                echo, lambda: self._deliver(message), label=f"deliver-dup:{kind}"
+            )
         return message
 
     def multicast(
@@ -220,7 +325,8 @@ class Network:
 
     def _drop(self, message: Message, reason: str) -> None:
         self.total_dropped += 1
-        self._stats_sent[message.sender][message.kind].dropped += 1
+        self.dropped_by_reason[reason] = self.dropped_by_reason.get(reason, 0) + 1
+        self._stats_sent[message.sender][message.kind].record_drop(reason)
         self.trace.record(
             self.sim.now,
             message.sender,
@@ -233,6 +339,24 @@ class Network:
     # ------------------------------------------------------------------
     # accounting (read by experiment E2)
     # ------------------------------------------------------------------
+    def dropped_count(
+        self, reason: str | None = None, node: NodeId | None = None
+    ) -> int:
+        """Messages dropped, optionally filtered by drop reason and/or by
+        the sending node (chaos oracles assert *why* messages died)."""
+        if node is None:
+            if reason is None:
+                return self.total_dropped
+            return self.dropped_by_reason.get(reason, 0)
+        stats = self._stats_sent.get(node, {})
+        if reason is None:
+            return sum(s.dropped for s in stats.values())
+        return sum(s.dropped_by_reason.get(reason, 0) for s in stats.values())
+
+    def drop_reasons(self) -> dict[str, int]:
+        """All drop reasons seen so far with their counts."""
+        return dict(self.dropped_by_reason)
+
     def sent_count(self, node: NodeId, kind: str | None = None) -> int:
         stats = self._stats_sent.get(node, {})
         if kind is not None:
@@ -272,6 +396,9 @@ class Network:
         self.total_sent = 0
         self.total_delivered = 0
         self.total_dropped = 0
+        self.dropped_by_reason.clear()
+        self.total_duplicated = 0
+        self.total_reordered = 0
 
 
 __all__ = ["LinkStats", "Message", "Network"]

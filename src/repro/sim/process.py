@@ -38,6 +38,8 @@ class Process:
         self.sim: Simulator = network.sim
         self.state = ProcessState.UP
         self.incarnation = 0
+        self.dispatch_delay = 0.0
+        self._muted = False
         self._timers: list[Event] = []
         self._periodic: list[PeriodicTimer] = []
         network.attach(node_id, self._receive, self.is_up)
@@ -63,8 +65,20 @@ class Process:
         for periodic in self._periodic:
             periodic.stop()
         self._periodic.clear()
+        self._muted = False
         self.network.trace.record(self.sim.now, self.node_id, "process.crash")
         self.on_crash()
+
+    def mute_sends(self) -> None:
+        """Suppress all outgoing traffic until the process crashes.
+
+        Used by crash-at-hook fault injection: the hook wants the process
+        dead *at this instant*, but tearing it down inline would make the
+        rest of the currently-running handler blow up on ``set_timer``.
+        Instead the hook mutes output and schedules the real crash as a
+        zero-delay event — the handler finishes harmlessly, and nothing it
+        tried to say after the hook point ever reaches the wire."""
+        self._muted = True
 
     def recover(self) -> None:
         """Restart with a new incarnation; volatile state is the subclass's
@@ -85,7 +99,7 @@ class Process:
         self, receiver: NodeId, payload: Any, kind: str = "msg", size: int = 1
     ) -> None:
         """Send a point-to-point message (silently ignored while crashed)."""
-        if not self.is_up():
+        if not self.is_up() or self._muted:
             return
         self.network.send(self.node_id, receiver, payload, kind=kind, size=size)
 
@@ -97,7 +111,7 @@ class Process:
         size: int = 1,
         include_self: bool = True,
     ) -> None:
-        if not self.is_up():
+        if not self.is_up() or self._muted:
             return
         self.network.multicast(
             self.node_id,
@@ -111,7 +125,34 @@ class Process:
     def _receive(self, message: Message) -> None:
         if not self.is_up():
             return
+        if self.dispatch_delay > 0.0:
+            self._defer(lambda: self.on_message(message))
+            return
         self.on_message(message)
+
+    # ------------------------------------------------------------------
+    # gray failure: slowed dispatch
+    # ------------------------------------------------------------------
+    def set_dispatch_delay(self, delay: float) -> None:
+        """Model a gray failure: the process is alive but slow — every
+        message handler and timer callback runs ``delay`` seconds after it
+        normally would.  ``0.0`` restores normal speed."""
+        if delay < 0.0:
+            raise ValueError("dispatch delay must be >= 0")
+        self.dispatch_delay = delay
+        if delay > 0.0:
+            self.network.trace.record(
+                self.sim.now, self.node_id, "process.slowdown", delay=delay
+            )
+        else:
+            self.network.trace.record(self.sim.now, self.node_id, "process.speed_restored")
+
+    def _defer(self, callback: Callable[[], None]) -> None:
+        self.sim.schedule(
+            self.dispatch_delay,
+            lambda: self.is_up() and callback(),
+            label=f"slow:{self.node_id}",
+        )
 
     # ------------------------------------------------------------------
     # timers
@@ -124,8 +165,12 @@ class Process:
             raise RuntimeError(f"{self.node_id} is crashed; cannot set timer")
 
         def guarded() -> None:
-            if self.is_up():
-                callback()
+            if not self.is_up():
+                return
+            if self.dispatch_delay > 0.0:
+                self._defer(callback)
+                return
+            callback()
 
         event = self.sim.schedule(delay, guarded, label=label or f"{self.node_id}")
         self._timers.append(event)
@@ -147,10 +192,19 @@ class Process:
         """Repeating timer; stops when the process crashes."""
         if not self.is_up():
             raise RuntimeError(f"{self.node_id} is crashed; cannot set timer")
+
+        def guarded() -> None:
+            if not self.is_up():
+                return
+            if self.dispatch_delay > 0.0:
+                self._defer(callback)
+                return
+            callback()
+
         timer = PeriodicTimer(
             sim=self.sim,
             period=period,
-            callback=callback,
+            callback=guarded,
             label=label or f"{self.node_id}",
         )
         timer.start(first_delay=first_delay)

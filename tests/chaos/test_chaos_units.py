@@ -1,0 +1,208 @@
+"""Unit tests for the chaos engine's pieces: config, generation,
+disruption windows, shrinking, and artifacts (no full cluster runs)."""
+
+import numpy as np
+import pytest
+
+from repro.chaos.artifact import FORMAT, load_artifact, write_artifact
+from repro.chaos.config import ChaosConfig
+from repro.chaos.generator import PROFILES, generate_schedule, resolve_profile
+from repro.chaos.oracles import ORACLES, Violation
+from repro.chaos.runner import disruption_spans
+from repro.chaos.shrink import shrink_events
+from repro.faults.schedule import FaultSchedule
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = ChaosConfig()
+        assert config.spare == "s3"
+        assert config.spare not in config.faultable_servers
+        assert len(config.client_ids) == config.n_sessions
+
+    def test_sessions_share_one_unit(self):
+        # controlled migrations only happen in multi-session units
+        assert ChaosConfig(n_sessions=3).unit_ids == ["m0"]
+
+    def test_rejects_tiny_cluster(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(n_servers=2)
+
+    def test_rejects_unknown_profile_and_plant(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(profile="meteors")
+        with pytest.raises(ValueError):
+            ChaosConfig(plant="nonexistent-bug")
+
+    def test_json_round_trip(self):
+        config = ChaosConfig(n_servers=5, profile="gray", plant="handoff-stall")
+        assert ChaosConfig.from_json(config.to_json()) == config
+
+    def test_from_json_rejects_unknown_keys(self):
+        data = ChaosConfig().to_json()
+        data["meteor_rate"] = 1.0
+        with pytest.raises(ValueError, match="meteor_rate"):
+            ChaosConfig.from_json(data)
+
+    def test_plant_disables_handoff_timeout(self):
+        normal = ChaosConfig().build_policy()
+        planted = ChaosConfig(plant="handoff-stall").build_policy()
+        assert planted.handoff_timeout > 1e6 > normal.handoff_timeout
+
+    def test_full_session_groups(self):
+        policy = ChaosConfig(n_servers=5).build_policy()
+        assert policy.num_backups == 4
+
+
+class TestGenerator:
+    def test_mixed_round_robins_all_profiles(self):
+        config = ChaosConfig(profile="mixed")
+        seen = {resolve_profile(config, i) for i in range(6)}
+        assert seen == set(PROFILES)
+
+    def test_fixed_profile_sticks(self):
+        config = ChaosConfig(profile="gray")
+        assert resolve_profile(config, 0) == resolve_profile(config, 5) == "gray"
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_schedules_deterministic_and_spare_safe(self, profile):
+        config = ChaosConfig()
+        a = generate_schedule(np.random.default_rng([3, 1]), config, profile)
+        b = generate_schedule(np.random.default_rng([3, 1]), config, profile)
+        assert [e.key() for e in a.sorted_events()] == [
+            e.key() for e in b.sorted_events()
+        ]
+        for event in a.events:
+            if event.kind in ("crash", "slowdown", "crash_at"):
+                assert event.target != config.spare
+            if event.kind == "partition":
+                # clients must be placed explicitly (unlisted nodes end
+                # up isolated in an implicit extra component)
+                members = {n for comp in event.args["components"] for n in comp}
+                assert set(config.client_ids) <= members
+                assert config.spare in members
+
+    def test_events_within_injection_window(self):
+        config = ChaosConfig()
+        for profile in PROFILES:
+            schedule = generate_schedule(
+                np.random.default_rng([9, 2]), config, profile
+            )
+            assert all(0 <= e.time <= config.duration for e in schedule.events)
+
+
+class TestDisruptionSpans:
+    def test_opener_closed_by_matching_closer(self):
+        schedule = FaultSchedule().crash(1.0, "s0").recover(4.0, "s0")
+        assert disruption_spans(schedule, t0=10.0, heal_time=40.0) == [(11.0, 14.0)]
+
+    def test_unclosed_opener_runs_to_heal(self):
+        schedule = FaultSchedule().crash(2.0, "s1")
+        assert disruption_spans(schedule, t0=0.0, heal_time=30.0) == [(2.0, 30.0)]
+
+    def test_closer_scoped_per_target(self):
+        schedule = (
+            FaultSchedule().crash(1.0, "s0").crash(2.0, "s1").recover(3.0, "s1")
+        )
+        spans = disruption_spans(schedule, t0=0.0, heal_time=10.0)
+        # s0 stays down to heal; s1's span closes at 3.0 and merges into it
+        assert spans == [(1.0, 10.0)]
+
+    def test_crash_at_conservative_to_heal(self):
+        schedule = FaultSchedule().crash_at(5.0, "s0", "pre-handoff")
+        assert disruption_spans(schedule, t0=0.0, heal_time=20.0) == [(5.0, 20.0)]
+
+    def test_message_adversity_closes_at_zero_probability(self):
+        schedule = FaultSchedule().duplicate(1.0, 0.05).duplicate(6.0, 0.0)
+        assert disruption_spans(schedule, t0=0.0, heal_time=20.0) == [(1.0, 6.0)]
+
+
+class TestShrink:
+    def test_finds_single_culprit(self):
+        events = list(range(16))
+
+        calls = []
+
+        def still_fails(subset):
+            calls.append(len(subset))
+            return 11 in subset
+
+        shrunk, runs = shrink_events(events, still_fails, budget=64)
+        assert shrunk == [11]
+        assert runs == len(calls)
+
+    def test_finds_interacting_pair(self):
+        events = list(range(12))
+
+        def still_fails(subset):
+            return 3 in subset and 9 in subset
+
+        shrunk, _ = shrink_events(events, still_fails, budget=64)
+        assert shrunk == [3, 9]
+
+    def test_budget_caps_re_runs(self):
+        events = list(range(64))
+
+        def still_fails(subset):
+            return 63 in subset
+
+        _, runs = shrink_events(events, still_fails, budget=5)
+        assert runs <= 5
+
+    def test_trivial_schedules_untouched(self):
+        assert shrink_events([], lambda s: True, budget=8) == ([], 0)
+        assert shrink_events([1], lambda s: True, budget=8) == ([1], 0)
+
+
+class TestArtifact:
+    def test_round_trip(self, tmp_path):
+        config = ChaosConfig(profile="crashes")
+        schedule = FaultSchedule().crash(1.5, "s0").recover(3.0, "s0")
+        violations = [
+            Violation(oracle="responsiveness", session_id="c0#0", detail={"max_gap": 9.0})
+        ]
+        path = tmp_path / "repro.json"
+        write_artifact(
+            path,
+            config=config,
+            seed=12345,
+            schedule=schedule,
+            violations=violations,
+            profile="crashes",
+            original_event_count=17,
+            shrink_runs=8,
+        )
+        loaded = load_artifact(path)
+        assert loaded["config"] == config
+        assert loaded["seed"] == 12345
+        assert loaded["profile"] == "crashes"
+        assert [e.key() for e in loaded["schedule"].sorted_events()] == [
+            e.key() for e in schedule.sorted_events()
+        ]
+        assert loaded["violations"][0]["oracle"] == "responsiveness"
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else/9"}')
+        with pytest.raises(ValueError, match="format"):
+            load_artifact(path)
+
+    def test_format_name_stable(self):
+        # replay compatibility contract: bump deliberately, not by accident
+        assert FORMAT == "repro-chaos/1"
+
+
+class TestOracleTable:
+    def test_lossless_oracles_exclude_partitions(self):
+        # "no silent lost updates" is only an invariant when no
+        # partition-class fault ran (the paper accepts minority loss)
+        by_name = {o.name: o for o in ORACLES}
+        lost = by_name["silent-lost-updates"]
+        assert lost.applies_to is not None
+        assert "partition" not in lost.applies_to
+        assert "crash" in lost.applies_to
+
+    def test_unconditional_oracles(self):
+        by_name = {o.name: o for o in ORACLES}
+        assert by_name["gcs-spec"].applies_to is None
+        assert by_name["convergence"].applies_to is None

@@ -165,3 +165,180 @@ class TestInjector:
         cluster = make_vod_cluster()
         inject(cluster, FaultSchedule().crash(1.0, "ghost"))
         cluster.run(2.0)  # should not raise
+
+
+class TestExtendedVocabulary:
+    def test_gray_and_adversity_builders(self):
+        schedule = (
+            FaultSchedule()
+            .slowdown(1.0, "s0", 0.2)
+            .restore_speed(2.0, "s0")
+            .delay_link(3.0, "s0", "s1", 0.1)
+            .restore_delay(4.0, "s0", "s1")
+            .duplicate(5.0, 0.05)
+            .reorder(6.0, 0.05, window=0.1)
+            .crash_at(7.0, "s0", "pre-handoff")
+        )
+        assert [e.kind for e in schedule.sorted_events()] == [
+            "slowdown", "restore_speed", "delay_link", "restore_delay",
+            "duplicate", "reorder", "crash_at",
+        ]
+        assert schedule.kinds() == {
+            "slowdown", "restore_speed", "delay_link", "restore_delay",
+            "duplicate", "reorder", "crash_at",
+        }
+
+    def test_merged_is_sorted_union(self):
+        a = FaultSchedule().crash(5.0, "s0").recover(9.0, "s0")
+        b = FaultSchedule().slowdown(1.0, "s1", 0.3).partition(7.0, ["s0"], ["s1"])
+        merged = a.merged(b)
+        assert len(merged) == 4
+        assert [e.time for e in merged.events] == [1.0, 5.0, 7.0, 9.0]
+        # merging never mutates the operands
+        assert len(a) == 2 and len(b) == 2
+
+
+class TestSchedulePersistence:
+    def test_json_round_trip(self):
+        schedule = (
+            FaultSchedule()
+            .crash(1.5, "s0")
+            .partition(2.0, ["s0"], ["s1", "s2"])
+            .reorder(3.0, 0.02, window=0.08)
+            .crash_at(4.0, "s1", "post-update")
+        )
+        rebuilt = FaultSchedule.from_json(schedule.to_json())
+        assert [e.key() for e in rebuilt.sorted_events()] == [
+            e.key() for e in schedule.sorted_events()
+        ]
+
+    def test_round_trip_through_json_text(self):
+        import json
+
+        schedule = FaultSchedule().crash(1.0, "s0").duplicate(2.0, 0.05)
+        text = json.dumps(schedule.to_json())
+        rebuilt = FaultSchedule.from_json(json.loads(text))
+        assert [e.key() for e in rebuilt.sorted_events()] == [
+            e.key() for e in schedule.sorted_events()
+        ]
+
+    def test_from_json_rejects_non_list(self):
+        with pytest.raises(ValueError, match="must be a list"):
+            FaultSchedule.from_json({"time": 1.0})
+
+    def test_from_json_rejects_nan_and_negative_times(self):
+        with pytest.raises(ValueError, match="entry 0"):
+            FaultSchedule.from_json([{"time": float("nan"), "kind": "crash"}])
+        with pytest.raises(ValueError, match="entry 0"):
+            FaultSchedule.from_json([{"time": -2.0, "kind": "crash"}])
+
+    def test_from_json_rejects_unknown_kind_with_index(self):
+        good = {"time": 1.0, "kind": "crash", "target": "s0"}
+        with pytest.raises(ValueError, match="entry 1"):
+            FaultSchedule.from_json([good, {"time": 2.0, "kind": "meteor"}])
+
+    def test_from_json_rejects_malformed_entries(self):
+        with pytest.raises(ValueError, match="not an object"):
+            FaultSchedule.from_json(["crash"])
+        with pytest.raises(ValueError, match="malformed"):
+            FaultSchedule.from_json([{"kind": "crash"}])  # no time
+        with pytest.raises(ValueError, match="args"):
+            FaultSchedule.from_json(
+                [{"time": 1.0, "kind": "crash", "args": "not-a-dict"}]
+            )
+
+
+class TestInjectorExtended:
+    def test_slowdown_and_restore_applied(self):
+        cluster = make_vod_cluster()
+        schedule = FaultSchedule().slowdown(1.0, "s1", 0.25).restore_speed(3.0, "s1")
+        inject(cluster, schedule)
+        cluster.run(2.0)
+        assert cluster.servers["s1"].daemon.dispatch_delay == 0.25
+        cluster.run(2.0)
+        assert cluster.servers["s1"].daemon.dispatch_delay == 0.0
+
+    def test_message_adversity_applied_and_cleared(self):
+        cluster = make_vod_cluster()
+        schedule = (
+            FaultSchedule()
+            .duplicate(1.0, 0.04)
+            .reorder(1.0, 0.03, window=0.1)
+            .duplicate(3.0, 0.0)
+            .reorder(3.0, 0.0)
+        )
+        inject(cluster, schedule)
+        cluster.run(2.0)
+        assert cluster.network.duplicate_probability == 0.04
+        assert cluster.network.reorder_probability == 0.03
+        cluster.run(2.0)
+        assert cluster.network.duplicate_probability == 0.0
+        assert cluster.network.reorder_probability == 0.0
+
+    def test_link_delay_spike_applied(self):
+        cluster = make_vod_cluster()
+        schedule = (
+            FaultSchedule()
+            .delay_link(1.0, "s0", "s1", 0.2)
+            .restore_delay(3.0, "s0", "s1")
+        )
+        inject(cluster, schedule)
+        cluster.run(2.0)
+        assert cluster.network._link_extra_delay[("s0", "s1")] == 0.2
+        assert cluster.network._link_extra_delay[("s1", "s0")] == 0.2
+        cluster.run(2.0)
+        assert ("s0", "s1") not in cluster.network._link_extra_delay
+
+    def test_crash_at_arms_hook_on_target(self):
+        cluster = make_vod_cluster()
+        inject(cluster, FaultSchedule().crash_at(1.0, "s1", "pre-handoff"))
+        cluster.run(2.0)
+        assert cluster.servers["s1"]._crash_hooks.get("pre-handoff", 0) == 1
+        cluster.servers["s1"].disarm_crash_hooks()
+        assert not cluster.servers["s1"]._crash_hooks
+
+    def test_every_applied_event_is_traced(self):
+        cluster = make_vod_cluster()
+        schedule = (
+            FaultSchedule()
+            .crash(1.0, "s1")
+            .recover(2.0, "s1")
+            .slowdown(3.0, "s2", 0.1)
+            .duplicate(4.0, 0.02)
+        )
+        inject(cluster, schedule)
+        cluster.run(5.0)
+        trace = cluster.network.trace
+        for kind in ("crash", "recover", "slowdown", "duplicate"):
+            assert trace.count(f"fault.{kind}") == 1
+
+    def test_recovery_accounting_symmetric_with_crash(self):
+        from repro.core.manager import AvailabilityManager
+
+        cluster = make_vod_cluster()
+        manager = AvailabilityManager(cluster=cluster, target_loss=0.01)
+        cluster.availability_manager = manager
+        schedule = (
+            FaultSchedule()
+            .crash(1.0, "s1")
+            .recover(3.5, "s1")
+            .crash(5.0, "s2")
+            .recover(6.0, "s2")
+        )
+        inject(cluster, schedule)
+        cluster.run(8.0)
+        assert len(manager.crash_times) == 2
+        assert len(manager.recovery_times) == 2
+        # each recovery pairs with the latest earlier crash: (2.5 + 1.0) / 2
+        assert manager.observed_mean_downtime(cluster.sim.now) == pytest.approx(1.75)
+
+    def test_redundant_recover_not_recorded(self):
+        from repro.core.manager import AvailabilityManager
+
+        cluster = make_vod_cluster()
+        manager = AvailabilityManager(cluster=cluster, target_loss=0.01)
+        cluster.availability_manager = manager
+        # recovering an already-up server is a no-op, not a bogus sample
+        inject(cluster, FaultSchedule().recover(1.0, "s1"))
+        cluster.run(2.0)
+        assert manager.recovery_times == []

@@ -178,3 +178,146 @@ def test_trace_records_delivery_and_drop():
     assert trace.count("net.drop") == 1
     drop = trace.select(category="net.drop")[0]
     assert drop.detail["reason"] == "disconnected-at-send"
+
+
+# ----------------------------------------------------------------------
+# chaos adversity: duplication, reordering, link delay spikes
+# ----------------------------------------------------------------------
+def _chaos_net():
+    sim = Simulator()
+    rng = RngRegistry(11).stream("chaos")
+    return Network(sim, Topology(), FixedLatency(0.01), chaos_rng=rng)
+
+
+def test_duplication_and_reordering_require_seeded_rng(net):
+    # determinism guard: unseeded adversity would make runs irreproducible
+    with pytest.raises(ValueError, match="chaos_rng"):
+        net.set_duplication(0.2)
+    with pytest.raises(ValueError, match="chaos_rng"):
+        net.set_reordering(0.2)
+    net.set_duplication(0.0)  # switching OFF never needs randomness
+    net.set_reordering(0.0)
+
+
+def test_adversity_rejects_bad_parameters():
+    net = _chaos_net()
+    with pytest.raises(ValueError):
+        net.set_duplication(1.0)
+    with pytest.raises(ValueError):
+        net.set_duplication(-0.1)
+    with pytest.raises(ValueError):
+        net.set_reordering(0.5, window=-0.01)
+
+
+def test_duplication_delivers_extra_copies():
+    net = _chaos_net()
+    Sink(net, "a")
+    b = Sink(net, "b")
+    net.set_duplication(0.5)
+    for i in range(200):
+        net.send("a", "b", i)
+    net.sim.run()
+    assert net.total_duplicated > 0
+    assert len(b.received) == 200 + net.total_duplicated
+    # duplication only echoes, it never loses the original
+    assert {m.payload for m in b.received} == set(range(200))
+
+
+def test_reordering_breaks_per_pair_fifo():
+    net = _chaos_net()
+    Sink(net, "a")
+    b = Sink(net, "b")
+    net.set_reordering(0.5, window=0.2)
+    for i in range(100):
+        net.send("a", "b", i)
+    net.sim.run()
+    payloads = [m.payload for m in b.received]
+    assert net.total_reordered > 0
+    assert payloads != sorted(payloads)  # FIFO actually violated
+    assert set(payloads) == set(range(100))  # ...but nothing lost
+
+
+def test_link_delay_spike_and_restore(net):
+    Sink(net, "a")
+    b = Sink(net, "b")
+    net.set_link_delay("a", "b", 0.5)
+    net.send("a", "b", "slow")
+    net.sim.run()
+    assert net.sim.now == pytest.approx(0.51)
+    net.clear_link_delay("a", "b")
+    net.send("a", "b", "fast")
+    net.sim.run()
+    assert net.sim.now == pytest.approx(0.52)
+    assert [m.payload for m in b.received] == ["slow", "fast"]
+
+
+def test_clear_adversity_lifts_everything():
+    net = _chaos_net()
+    Sink(net, "a")
+    Sink(net, "b")
+    net.set_duplication(0.3)
+    net.set_reordering(0.3, window=0.1)
+    net.set_link_delay("a", "b", 1.0)
+    net.clear_adversity()
+    assert net.duplicate_probability == 0.0
+    assert net.reorder_probability == 0.0
+    net.send("a", "b", "x")
+    net.sim.run()
+    assert net.sim.now == pytest.approx(0.01)  # spike lifted too
+
+
+# ----------------------------------------------------------------------
+# per-reason drop accounting
+# ----------------------------------------------------------------------
+def test_dropped_count_by_reason_and_node(net):
+    Sink(net, "a")
+    b = Sink(net, "b")
+    c = Sink(net, "c")
+
+    # reason 1: disconnected at send time
+    net.topology.partition({"a"}, {"b", "c"})
+    net.send("a", "b", "never-leaves")
+    net.sim.run()
+    net.topology.heal_partition()
+
+    # reason 2: partition forms while in flight
+    net.send("a", "b", "dies-mid-air")
+    net.sim.schedule(0.005, lambda: net.topology.partition({"a"}, {"b", "c"}))
+    net.sim.run()
+    net.topology.heal_partition()
+
+    # reason 3: receiver down at arrival
+    net.send("a", "c", "nobody-listening")
+    c.up = False
+    net.sim.run()
+
+    assert net.dropped_count() == 3
+    assert net.dropped_count(reason="disconnected-at-send") == 1
+    assert net.dropped_count(reason="disconnected-in-flight") == 1
+    assert net.dropped_count(reason="receiver-down") == 1
+    assert net.dropped_count(reason="random-loss") == 0
+    assert net.drop_reasons() == {
+        "disconnected-at-send": 1,
+        "disconnected-in-flight": 1,
+        "receiver-down": 1,
+    }
+    # sender-scoped filtering: all three losses were sent by "a"
+    assert net.dropped_count(node="a") == 3
+    assert net.dropped_count(reason="receiver-down", node="a") == 1
+    assert net.dropped_count(node="b") == 0
+    assert b.received == []
+
+
+def test_random_loss_counted_with_reason():
+    sim = Simulator()
+    rng = RngRegistry(3).stream("loss")
+    net = Network(sim, Topology(), FixedLatency(0.01), loss_probability=0.5, loss_rng=rng)
+    Sink(net, "a")
+    b = Sink(net, "b")
+    for i in range(100):
+        net.send("a", "b", i)
+    sim.run()
+    lost = net.dropped_count(reason="random-loss")
+    assert lost > 0
+    assert lost == net.total_dropped
+    assert len(b.received) == 100 - lost

@@ -27,3 +27,47 @@ def test_demo(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_chaos_explore_smoke(capsys, tmp_path):
+    # one clean iteration per profile at a pinned seed: exit 0, no artifacts
+    assert (
+        main(
+            [
+                "chaos",
+                "--seed", "1",
+                "--iterations", "3",
+                "--artifact-dir", str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "0 violation(s)" in out
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_chaos_plant_found_shrunk_and_replayable(capsys, tmp_path):
+    # validation mode: with the planted bug the engine must find it
+    # (exit 0 == found), write an artifact, and --replay must re-trigger it
+    assert (
+        main(
+            [
+                "chaos",
+                "--seed", "8",
+                "--iterations", "2",
+                "--profile", "crashes",
+                "--plant", "handoff-stall",
+                "--artifact-dir", str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "VIOLATION" in out
+    assert "shrunk" in out
+    artifacts = sorted(tmp_path.glob("chaos-*.json"))
+    assert artifacts
+    assert main(["chaos", "--replay", str(artifacts[0])]) == 0
+    out = capsys.readouterr().out
+    assert "reproduced       : yes" in out

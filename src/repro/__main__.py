@@ -3,8 +3,10 @@
     python -m repro demo                # the quickstart scenario
     python -m repro experiments         # full experiment report
     python -m repro experiments --fast E3 E4
+    python -m repro bench --workers 4   # experiment sweep, seed-sharded
     python -m repro policy --target 1e-4 --failure-rate 0.01
     python -m repro chaos --seed 1 --iterations 5
+    python -m repro chaos --workers 4 --iterations 8
     python -m repro chaos --replay chaos-artifacts/chaos-1-3.json
 """
 
@@ -54,7 +56,31 @@ def _cmd_demo(_args) -> int:
 def _cmd_experiments(args) -> int:
     from repro.experiments.runner import run_all
 
-    run_all(args.ids or None, seed=args.seed, fast=args.fast)
+    run_all(
+        args.ids or None,
+        seed=args.seed,
+        fast=args.fast,
+        workers=getattr(args, "workers", 1),
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """The experiment sweep as a benchmark: sharded across worker
+    processes, with a wall-clock accounting line at the end."""
+    import time
+
+    from repro.experiments.runner import run_all
+    from repro.parallel import effective_workers
+
+    workers = effective_workers(args.workers)
+    started = time.perf_counter()
+    results = run_all(args.ids or None, seed=args.seed, fast=args.fast, workers=workers)
+    elapsed = time.perf_counter() - started
+    print(
+        f"bench: {len(results)} experiment(s), {workers} worker(s), "
+        f"{elapsed:.1f}s wall total"
+    )
     return 0
 
 
@@ -104,6 +130,7 @@ def _cmd_chaos(args) -> int:
         artifact_dir=args.artifact_dir,
         shrink_budget=args.shrink_budget,
         echo=print,
+        workers=args.workers,
     )
     print(report.summary())
     if config.plant is not None:
@@ -122,6 +149,27 @@ def main(argv: list[str] | None = None) -> int:
     experiments.add_argument("ids", nargs="*", help="experiment ids (E1..E11)")
     experiments.add_argument("--seed", type=int, default=0)
     experiments.add_argument("--fast", action="store_true")
+    experiments.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to shard experiments across (default 1)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="experiment sweep as a benchmark: seed-sharded across "
+        "worker processes, deterministic merge, wall-clock summary",
+    )
+    bench.add_argument("ids", nargs="*", help="experiment ids (E1..E11)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--fast", action="store_true")
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (default 0 = one per available core)",
+    )
 
     policy = sub.add_parser(
         "policy", help="derive availability parameters from a quality target"
@@ -137,6 +185,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--iterations", type=int, default=5)
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to shard iterations across (default 1)",
+    )
     chaos.add_argument(
         "--profile",
         choices=("crashes", "partitions", "gray", "mixed"),
@@ -165,6 +219,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_demo(args)
     if args.command == "experiments":
         return _cmd_experiments(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "policy":
         return _cmd_policy(args)
     if args.command == "chaos":

@@ -20,6 +20,7 @@ from repro.chaos.generator import generate_schedule, resolve_profile
 from repro.chaos.runner import RunResult, run_schedule
 from repro.chaos.shrink import shrink_events
 from repro.faults.schedule import FaultSchedule
+from repro.parallel import map_sharded
 
 
 @dataclass
@@ -68,6 +69,75 @@ def _run_seed(root_seed: int, index: int) -> int:
     return (root_seed * 1_000_003 + index * 8_191 + 1) % (2**31 - 1)
 
 
+def _explore_iteration(task: tuple) -> tuple[IterationOutcome, list[str]]:
+    """One full iteration: generate → run → (shrink → persist on failure).
+
+    Module-level and driven by a plain-data task tuple so it can run
+    either in-process or inside a worker process (``--workers N``); the
+    outcome is identical either way because everything derives from
+    ``(config, root seed, index)``.  Returns the outcome plus the
+    progress lines describing it (printed by the parent, in index order,
+    so parallel output is not interleaved)."""
+    config, seed, index, shrink_budget, artifact_dir = task
+    lines: list[str] = []
+    gen_rng = np.random.default_rng([seed, index])
+    profile = resolve_profile(config, index)
+    schedule = generate_schedule(gen_rng, config, profile)
+    run_seed = _run_seed(seed, index)
+    result = run_schedule(config, run_seed, schedule)
+    outcome = IterationOutcome(
+        index=index,
+        run_seed=run_seed,
+        profile=profile,
+        event_count=len(schedule),
+        result=result,
+    )
+    if not result.failed:
+        lines.append(
+            f"[{index}] {profile:<10} {len(schedule):3d} events  "
+            f"{result.responses:5d} responses  ok"
+        )
+        return outcome, lines
+
+    names = ", ".join(sorted(result.oracle_names()))
+    lines.append(
+        f"[{index}] {profile:<10} {len(schedule):3d} events  "
+        f"VIOLATION ({names}) — shrinking..."
+    )
+    target = sorted(result.oracle_names())[0]
+
+    def still_fails(events) -> bool:
+        rerun = run_schedule(config, run_seed, FaultSchedule(events=list(events)))
+        return target in rerun.oracle_names()
+
+    shrunk_events, runs = shrink_events(
+        schedule.sorted_events(), still_fails, budget=shrink_budget
+    )
+    shrunk = FaultSchedule(events=shrunk_events)
+    final = run_schedule(config, run_seed, shrunk)
+    outcome.shrunk = shrunk
+    outcome.shrink_runs = runs
+    lines.append(
+        f"    shrunk {len(schedule)} -> {len(shrunk)} events "
+        f"in {runs} re-runs (oracle: {target})"
+    )
+    if artifact_dir is not None:
+        path = Path(artifact_dir) / f"chaos-{seed}-{index}.json"
+        write_artifact(
+            path,
+            config=config,
+            seed=run_seed,
+            schedule=shrunk,
+            violations=final.violations or result.violations,
+            profile=profile,
+            original_event_count=len(schedule),
+            shrink_runs=runs,
+        )
+        outcome.artifact_path = str(path)
+        lines.append(f"    artifact: {path}")
+    return outcome, lines
+
+
 def explore(
     config: ChaosConfig,
     seed: int,
@@ -75,70 +145,32 @@ def explore(
     artifact_dir: str | Path | None = None,
     shrink_budget: int = 48,
     echo=None,
+    workers: int = 1,
 ) -> ExplorationReport:
     """Run the exploration loop; returns the full report.
 
     ``echo`` (e.g. ``print``) receives one progress line per iteration.
+    ``workers > 1`` shards the (independent) iterations across processes;
+    the report is merged ordered by iteration index, never by completion,
+    so the result — including every ``trace_digest`` — is identical to a
+    serial run.
     """
     say = echo or (lambda _line: None)
     report = ExplorationReport(config=config, root_seed=seed)
-    for index in range(iterations):
-        gen_rng = np.random.default_rng([seed, index])
-        profile = resolve_profile(config, index)
-        schedule = generate_schedule(gen_rng, config, profile)
-        run_seed = _run_seed(seed, index)
-        result = run_schedule(config, run_seed, schedule)
-        outcome = IterationOutcome(
-            index=index,
-            run_seed=run_seed,
-            profile=profile,
-            event_count=len(schedule),
-            result=result,
-        )
+    tasks = [
+        (config, seed, index, shrink_budget,
+         str(artifact_dir) if artifact_dir is not None else None)
+        for index in range(iterations)
+    ]
+    if workers <= 1:
+        # lazy in-process loop: progress lines stream as iterations finish
+        results = (_explore_iteration(task) for task in tasks)
+    else:
+        results = map_sharded(_explore_iteration, tasks, workers=workers)
+    for outcome, lines in results:
         report.iterations.append(outcome)
-        if not result.failed:
-            say(
-                f"[{index}] {profile:<10} {len(schedule):3d} events  "
-                f"{result.responses:5d} responses  ok"
-            )
-            continue
-
-        names = ", ".join(sorted(result.oracle_names()))
-        say(
-            f"[{index}] {profile:<10} {len(schedule):3d} events  "
-            f"VIOLATION ({names}) — shrinking..."
-        )
-        target = sorted(result.oracle_names())[0]
-
-        def still_fails(events) -> bool:
-            rerun = run_schedule(config, run_seed, FaultSchedule(events=list(events)))
-            return target in rerun.oracle_names()
-
-        shrunk_events, runs = shrink_events(
-            schedule.sorted_events(), still_fails, budget=shrink_budget
-        )
-        shrunk = FaultSchedule(events=shrunk_events)
-        final = run_schedule(config, run_seed, shrunk)
-        outcome.shrunk = shrunk
-        outcome.shrink_runs = runs
-        say(
-            f"    shrunk {len(schedule)} -> {len(shrunk)} events "
-            f"in {runs} re-runs (oracle: {target})"
-        )
-        if artifact_dir is not None:
-            path = Path(artifact_dir) / f"chaos-{seed}-{index}.json"
-            write_artifact(
-                path,
-                config=config,
-                seed=run_seed,
-                schedule=shrunk,
-                violations=final.violations or result.violations,
-                profile=profile,
-                original_event_count=len(schedule),
-                shrink_runs=runs,
-            )
-            outcome.artifact_path = str(path)
-            say(f"    artifact: {path}")
+        for line in lines:
+            say(line)
     return report
 
 

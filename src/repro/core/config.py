@@ -46,6 +46,15 @@ class AvailabilityPolicy:
             outage.  An extension beyond the paper, off by default.
         response_log_cap: per-session cap on the client's received-response
             log (memory guard for long benchmark runs).
+        delta_propagation: ship incremental context deltas (only the
+            app-state fields changed since the previous propagation)
+            instead of full snapshots whenever safe.  Full snapshots are
+            still sent on the first propagation of a role, after content
+            view changes, and periodically (below) so receivers at an
+            epoch gap re-converge.
+        full_propagation_every: with delta propagation on, force a full
+            snapshot at least every this-many propagations (bounds how
+            long a receiver that missed a delta base can stay stale).
     """
 
     num_backups: int = 1
@@ -57,12 +66,16 @@ class AvailabilityPolicy:
     prefer_backup_promotion: bool = True
     durable_unit_db: bool = False
     response_log_cap: int = 200_000
+    delta_propagation: bool = True
+    full_propagation_every: int = 8
 
     def __post_init__(self) -> None:
         if self.num_backups < 0:
             raise ValueError("num_backups must be >= 0")
         if self.propagation_period <= 0:
             raise ValueError("propagation_period must be positive")
+        if self.full_propagation_every < 1:
+            raise ValueError("full_propagation_every must be >= 1")
 
     @property
     def session_group_size(self) -> int:

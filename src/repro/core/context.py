@@ -12,22 +12,109 @@ The invariant the paper states — "client context updates [known to the
 session group] are at least as current as information in the unit
 database" — is checkable: a backup's effective update counter is always
 ``>=`` the snapshot's.
+
+Application states are **immutable by contract**: every
+:class:`~repro.core.application.ServiceApplication` method is functional
+(state in, state out), which is what lets this module snapshot and ship
+contexts *by reference* instead of deep-copying, and compute **deltas**
+between successive propagations.  A :class:`ContextDelta` carries only
+the app-state fields that changed since the previous propagation epoch —
+the FRAPPE-style incremental state shipping that makes the paper's
+"frequency of context propagation" knob cost what it actually costs,
+rather than the cost of re-serializing the whole context every period.
 """
 
 from __future__ import annotations
 
-import copy
+import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+# ---------------------------------------------------------------------------
+# byte-size accounting
+# ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+#: Abstract byte cost of the fixed per-message context header (counters,
+#: epoch, timestamps) charged on every snapshot or delta.
+_HEADER_COST = 24
+
+
+def estimate_size(value: Any) -> int:
+    """Deterministic abstract byte count of an application value.
+
+    Used by the load accounting (experiment E2) to price propagation
+    traffic: numbers cost 8, strings their length, containers the sum of
+    their elements plus a small framing cost, dataclasses the sum of
+    their fields.  Unknown objects degrade to the length of their repr.
+    """
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, dict):
+        return 2 + sum(
+            estimate_size(k) + estimate_size(v) for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 2 + sum(estimate_size(item) for item in value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return 2 + sum(
+            estimate_size(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        )
+    return len(repr(value))
+
+
+# ---------------------------------------------------------------------------
+# state diffing (copy-on-write propagation)
+# ---------------------------------------------------------------------------
+
+
+def state_delta(old: Any, new: Any):
+    """Field-level diff between two application states.
+
+    Returns a tuple of ``(field_name, new_value)`` pairs, or ``None`` when
+    the states cannot be diffed (not dataclasses of the same type).  An
+    empty tuple means "unchanged" — cheap to detect because functional
+    applications return the *same object* when an update is a no-op.
+    """
+    if old is new:
+        return ()
+    if (
+        not dataclasses.is_dataclass(old)
+        or not dataclasses.is_dataclass(new)
+        or type(old) is not type(new)
+        or isinstance(old, type)
+    ):
+        return None
+    changed = []
+    for f in dataclasses.fields(new):
+        old_value = getattr(old, f.name)
+        new_value = getattr(new, f.name)
+        if old_value is not new_value and old_value != new_value:
+            changed.append((f.name, new_value))
+    return tuple(changed)
+
+
+def apply_state_delta(state: Any, changes: tuple) -> Any:
+    """Apply a :func:`state_delta` result to a base state."""
+    if not changes:
+        return state
+    return replace(state, **dict(changes))
+
+
+@dataclass(frozen=True, slots=True)
 class ContextSnapshot:
     """An immutable picture of one session's context at a moment.
 
     Attributes:
-        app_state: the application-defined session state (deep-copied on
-            capture so later mutations never leak into the snapshot).
+        app_state: the application-defined session state.  States are
+            immutable by the application contract, so the snapshot shares
+            the reference instead of deep-copying.
         update_counter: highest client context-update counter reflected.
         response_counter: number of responses the primary had sent.
         stamped_at: simulation time of capture (lets a takeover primary
@@ -53,8 +140,60 @@ class ContextSnapshot:
         epoch-richer but update-poorer snapshot must never win)."""
         return (self.update_counter, self.response_counter, self.epoch)
 
+    @property
+    def size_estimate(self) -> int:
+        """Abstract wire cost of shipping this snapshot in full."""
+        return _HEADER_COST + estimate_size(self.app_state)
 
-@dataclass
+
+@dataclass(frozen=True, slots=True)
+class ContextDelta:
+    """The incremental form of one propagation: only what changed.
+
+    ``changes`` is the :func:`state_delta` of the app state between the
+    propagation at ``base_epoch`` and this one (``epoch``); the counters
+    carry the same meaning as on :class:`ContextSnapshot`.  A receiver can
+    reconstruct the full snapshot iff its current record for the session
+    sits exactly at ``base_epoch`` — otherwise it must wait for the next
+    full snapshot (epoch gap: a joiner, or a member that missed the
+    lineage's earlier propagations).
+    """
+
+    base_epoch: int
+    epoch: int
+    update_counter: int
+    response_counter: int
+    stamped_at: float
+    changes: tuple
+
+    @property
+    def size_estimate(self) -> int:
+        """Abstract wire cost: header plus only the changed fields."""
+        return _HEADER_COST + sum(
+            estimate_size(name) + estimate_size(value)
+            for name, value in self.changes
+        )
+
+    def apply_to(self, base: ContextSnapshot) -> ContextSnapshot:
+        """Reconstruct the full snapshot this delta encodes.
+
+        ``base`` must be the receiver's snapshot at exactly
+        ``base_epoch`` (raises ``ValueError`` otherwise — callers check
+        and count the gap instead of letting it propagate)."""
+        if base.epoch != self.base_epoch:
+            raise ValueError(
+                f"delta base epoch {self.base_epoch} != snapshot epoch {base.epoch}"
+            )
+        return ContextSnapshot(
+            app_state=apply_state_delta(base.app_state, self.changes),
+            update_counter=self.update_counter,
+            response_counter=self.response_counter,
+            stamped_at=self.stamped_at,
+            epoch=self.epoch,
+        )
+
+
+@dataclass(slots=True)
 class PrimaryContext:
     """The live context held by the session's primary server."""
 
@@ -62,29 +201,58 @@ class PrimaryContext:
     update_counter: int = 0
     response_counter: int = 0
     epoch: int = 0
+    # the app state as of the last snapshot()/delta() capture — the
+    # copy-on-write base the next delta is diffed against
+    _delta_base: Any = field(default=None, repr=False, compare=False)
 
     def snapshot(self, now: float) -> ContextSnapshot:
-        """Capture a propagation snapshot (epoch advances)."""
+        """Capture a full propagation snapshot (epoch advances).
+
+        States are immutable by the application contract, so this shares
+        the state reference — capture is O(1), not a deep copy."""
         self.epoch += 1
+        self._delta_base = self.app_state
         return ContextSnapshot(
-            app_state=copy.deepcopy(self.app_state),
+            app_state=self.app_state,
             update_counter=self.update_counter,
             response_counter=self.response_counter,
             stamped_at=now,
             epoch=self.epoch,
         )
 
+    def delta(self, now: float) -> ContextDelta | None:
+        """Capture an incremental propagation (epoch advances) against the
+        previous capture, or ``None`` when no capture exists yet or the
+        state does not support field-level diffing (caller falls back to a
+        full :meth:`snapshot`)."""
+        if self._delta_base is None:
+            return None
+        changes = state_delta(self._delta_base, self.app_state)
+        if changes is None:
+            return None
+        base_epoch = self.epoch
+        self.epoch += 1
+        self._delta_base = self.app_state
+        return ContextDelta(
+            base_epoch=base_epoch,
+            epoch=self.epoch,
+            update_counter=self.update_counter,
+            response_counter=self.response_counter,
+            stamped_at=now,
+            changes=changes,
+        )
+
     @staticmethod
     def from_snapshot(snapshot: ContextSnapshot) -> "PrimaryContext":
         return PrimaryContext(
-            app_state=copy.deepcopy(snapshot.app_state),
+            app_state=snapshot.app_state,
             update_counter=snapshot.update_counter,
             response_counter=snapshot.response_counter,
             epoch=snapshot.epoch,
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class BackupContext:
     """A backup's context: base snapshot plus the update log since.
 
@@ -94,7 +262,7 @@ class BackupContext:
     """
 
     base: ContextSnapshot
-    update_log: list[tuple[int, Any]] = field(default_factory=list)
+    update_log: list = field(default_factory=list)
 
     def apply_update(self, counter: int, update: Any) -> None:
         if counter > self.base.update_counter:
@@ -113,10 +281,19 @@ class BackupContext:
 
     def effective(self, apply_update_fn) -> ContextSnapshot:
         """The snapshot a takeover would start from: base plus logged
-        updates, replayed through the application's update function."""
-        state = copy.deepcopy(self.base.app_state)
+        updates, replayed through the application's update function.
+
+        With an empty log this is the base itself — no copy, no replay.
+        The replay sorts by counter only: update payloads are opaque
+        application values and need not be orderable, so tying counters
+        must never fall through to comparing the payloads."""
+        if not self.update_log:
+            return self.base
+        state = self.base.app_state
         counter = self.base.update_counter
-        for update_counter, update in sorted(self.update_log):
+        for update_counter, update in sorted(
+            self.update_log, key=lambda item: item[0]
+        ):
             state = apply_update_fn(state, update)
             counter = max(counter, update_counter)
         return replace(
@@ -130,4 +307,12 @@ class BackupContext:
         return max(self.base.update_counter, max(c for c, _ in self.update_log))
 
 
-__all__ = ["BackupContext", "ContextSnapshot", "PrimaryContext"]
+__all__ = [
+    "BackupContext",
+    "ContextDelta",
+    "ContextSnapshot",
+    "PrimaryContext",
+    "apply_state_delta",
+    "estimate_size",
+    "state_delta",
+]

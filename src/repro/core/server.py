@@ -23,7 +23,6 @@ server-side logic:
 
 from __future__ import annotations
 
-import copy
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable
@@ -89,6 +88,10 @@ class _PrimaryRuntime:
     timer_armed: bool = False
     response_event = None
     propagation_timer = None
+    # delta propagation bookkeeping: how many deltas since the last full
+    # snapshot, and the content view the receivers of that full saw
+    deltas_since_full: int = 0
+    propagated_view_key: tuple | None = None
 
 
 @dataclass
@@ -649,24 +652,54 @@ class FrameworkServer:
         if runtime is None or runtime.awaiting_handoff:
             return
         self._chaos_hook("pre-propagate")
-        snapshot = runtime.ctx.snapshot(self.sim.now)
-        self.daemon.mcast(
-            content_group(runtime.unit_id),
-            Propagate(
+        view = self._content_views.get(runtime.unit_id)
+        view_key = view.view_key if view is not None else None
+        message = None
+        if (
+            self.policy.delta_propagation
+            and runtime.propagated_view_key == view_key
+            and runtime.deltas_since_full + 1 < self.policy.full_propagation_every
+        ):
+            delta = runtime.ctx.delta(self.sim.now)
+            if delta is not None:
+                message = Propagate(
+                    session_id=session_id, unit_id=runtime.unit_id, delta=delta
+                )
+                runtime.deltas_since_full += 1
+                self.counters["propagations_delta"] += 1
+        if message is None:
+            snapshot = runtime.ctx.snapshot(self.sim.now)
+            message = Propagate(
                 session_id=session_id, unit_id=runtime.unit_id, snapshot=snapshot
-            ),
-            size=4,
-        )
+            )
+            runtime.deltas_since_full = 0
+            runtime.propagated_view_key = view_key
+            self.counters["propagations_full"] += 1
+        size = message.size_estimate
+        self.daemon.mcast(content_group(runtime.unit_id), message, size=size)
         self.counters["propagations_sent"] += 1
+        self.counters["propagation_bytes_sent"] += size
 
     def _on_propagate(self, message: Propagate) -> None:
         db = self.unit_dbs.get(message.unit_id)
         if db is None:
             return
-        db.apply_propagation(message.session_id, message.snapshot)
+        snapshot = message.snapshot
+        if snapshot is None:
+            # incremental propagation: reconstruct the full snapshot from
+            # our current record — possible only when we sit exactly at
+            # the delta's base epoch (totally ordered propagations make
+            # that the common case; joiners wait for the next full)
+            record = db.get(message.session_id)
+            if record is None or record.snapshot.epoch != message.delta.base_epoch:
+                self.counters["propagation_delta_gaps"] += 1
+                return
+            snapshot = message.delta.apply_to(record.snapshot)
+        db.apply_propagation(message.session_id, snapshot)
         if message.session_id in self.backups:
-            self.backups[message.session_id].rebase(message.snapshot)
+            self.backups[message.session_id].rebase(snapshot)
         self.counters["propagations_processed"] += 1
+        self.counters["propagation_bytes_processed"] += message.size_estimate
 
     # ------------------------------------------------------------------
     # session teardown
@@ -801,7 +834,7 @@ class FrameworkServer:
             runtime = self.primaries.get(session_id)
             if runtime is not None and runtime.unit_id == unit:
                 live = ContextSnapshot(
-                    app_state=copy.deepcopy(runtime.ctx.app_state),
+                    app_state=runtime.ctx.app_state,
                     update_counter=runtime.ctx.update_counter,
                     response_counter=runtime.ctx.response_counter,
                     stamped_at=self.sim.now,

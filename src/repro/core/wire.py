@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.core.context import ContextSnapshot
+from repro.core.context import ContextDelta, ContextSnapshot
 from repro.sim.topology import NodeId
 
 
@@ -103,11 +103,28 @@ class EndSession:
 
 @dataclass(frozen=True)
 class Propagate:
-    """Primary -> content group: periodic context snapshot."""
+    """Primary -> content group: periodic context propagation.
+
+    Carries either a full ``snapshot`` or an incremental ``delta``
+    (exactly one is set).  Deltas ship only the app-state fields changed
+    since the previous propagation epoch; a receiver whose record is not
+    at the delta's base epoch ignores it and is repaired by the next full
+    snapshot (the primary sends one on view changes and at least every
+    ``AvailabilityPolicy.full_propagation_every`` propagations).
+
+    ``size_estimate`` is the real wire cost of whichever form is carried,
+    so the load accounting prices the propagation-frequency knob by what
+    actually crosses the wire."""
 
     session_id: str
     unit_id: str
-    snapshot: ContextSnapshot
+    snapshot: ContextSnapshot | None = None
+    delta: ContextDelta | None = None
+
+    @property
+    def size_estimate(self) -> int:
+        body = self.snapshot if self.snapshot is not None else self.delta
+        return body.size_estimate
 
 
 @dataclass(frozen=True)

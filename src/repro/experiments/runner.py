@@ -5,6 +5,12 @@ Usage::
     python -m repro.experiments.runner            # full suite
     python -m repro.experiments.runner --fast     # CI-sized sweeps
     python -m repro.experiments.runner E1 E4      # a subset
+    python -m repro.experiments.runner --workers 4  # shard across cores
+
+Experiments are independent (each builds its own simulated worlds from
+its own seeds), so with ``--workers N`` they are sharded across worker
+processes.  Output is merged **in experiment order**, not completion
+order, so a parallel run prints exactly what a serial run prints.
 """
 
 from __future__ import annotations
@@ -14,19 +20,37 @@ import sys
 import time
 
 from repro.experiments import EXPERIMENT_MODULES, get_experiment
+from repro.parallel import map_sharded
+
+
+def _run_one(task: tuple) -> tuple[str, list, float]:
+    """Worker: run one experiment module; returns (name, tables, secs)."""
+    name, seed, fast = task
+    module = get_experiment(name)
+    started = time.time()
+    tables = module.run(seed=seed, fast=fast)
+    return name, tables, time.time() - started
 
 
 def run_all(
-    names: list[str] | None = None, seed: int = 0, fast: bool = False
+    names: list[str] | None = None,
+    seed: int = 0,
+    fast: bool = False,
+    workers: int = 1,
 ) -> dict[str, list]:
-    """Run the selected experiments; returns ``{id: [Table, ...]}``."""
+    """Run the selected experiments; returns ``{id: [Table, ...]}``.
+
+    ``workers > 1`` runs experiments in parallel processes; tables are
+    printed in experiment order regardless of completion order.
+    """
     names = names or list(EXPERIMENT_MODULES)
+    tasks = [(name, seed, fast) for name in names]
     results: dict[str, list] = {}
-    for name in names:
-        module = get_experiment(name)
-        started = time.time()
-        tables = module.run(seed=seed, fast=fast)
-        elapsed = time.time() - started
+    if workers <= 1:
+        outcomes = (_run_one(task) for task in tasks)  # lazy: stream output
+    else:
+        outcomes = map_sharded(_run_one, tasks, workers=workers)
+    for name, tables, elapsed in outcomes:
         results[name] = tables
         for table in tables:
             table.show()
@@ -46,8 +70,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--fast", action="store_true", help="small sweeps for smoke runs"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to shard experiments across (default 1)",
+    )
     args = parser.parse_args(argv)
-    run_all(args.experiments or None, seed=args.seed, fast=args.fast)
+    run_all(
+        args.experiments or None,
+        seed=args.seed,
+        fast=args.fast,
+        workers=args.workers,
+    )
     return 0
 
 

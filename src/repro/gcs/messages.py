@@ -14,7 +14,7 @@ from repro.gcs.view import ViewId
 from repro.sim.topology import NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestId:
     """Globally unique id of one multicast request.
 
@@ -40,7 +40,7 @@ class RequestId:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Heartbeat:
     sender: NodeId
     incarnation: int
@@ -53,7 +53,7 @@ class Heartbeat:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OrderRequest:
     """Ask the configuration's sequencer to order one group multicast."""
 
@@ -63,7 +63,7 @@ class OrderRequest:
     size_estimate: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sequenced:
     """A multicast stamped with its position in the configuration's total
     order, disseminated by the sequencer to all configuration members."""
@@ -73,7 +73,7 @@ class Sequenced:
     request: OrderRequest
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SequencedBatch:
     """A window's worth of sequenced multicasts disseminated as one wire
     message (sequencer batching).
@@ -92,7 +92,7 @@ class SequencedBatch:
         return sum(m.request.size_estimate for m in self.messages)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NackSeqs:
     """Member -> sequencer: I hold a gap in the configuration's sequence
     (a Sequenced message was lost on the wire); please retransmit."""
@@ -101,7 +101,7 @@ class NackSeqs:
     seqs: tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResyncRequired:
     """Sequencer -> member: the sequence gap you NACKed was pruned from the
     retransmission buffer, so it can never be filled in place.  The member
@@ -119,7 +119,7 @@ class ResyncRequired:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AttemptId:
     """Identifies one view-formation attempt: ``(counter, coordinator)``."""
 
@@ -136,7 +136,7 @@ class AttemptId:
         return self._key() <= other._key()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Propose:
     """Coordinator -> participants: start forming a view with ``members``."""
 
@@ -144,7 +144,7 @@ class Propose:
     members: tuple[NodeId, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProposeNack:
     """Participant -> coordinator: your attempt counter is stale; retry
     with a counter above ``view_counter``."""
@@ -153,7 +153,7 @@ class ProposeNack:
     view_counter: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SyncReply:
     """Participant -> coordinator: my state for the flush round.
 
@@ -181,7 +181,7 @@ class SyncReply:
     incarnation: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Install:
     """Coordinator -> participants: the new view, plus everything each
     surviving prior configuration must deliver before switching.
@@ -208,7 +208,7 @@ class Install:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientMcast:
     """Client -> contact daemon: inject a group multicast into the total
     order on my behalf (the GCS's open-group property)."""
@@ -219,7 +219,7 @@ class ClientMcast:
     size_estimate: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientAck:
     """Contact daemon -> client: your message was accepted for ordering."""
 
@@ -245,7 +245,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PtpData:
     """A point-to-point application payload carried outside the total order
     (used for server responses to clients and for direct handoffs)."""

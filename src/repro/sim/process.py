@@ -32,6 +32,21 @@ class Process:
     process is crashed.
     """
 
+    # Slotted: the base attributes are touched on every message delivery
+    # and timer fire.  Subclasses without __slots__ still get a __dict__
+    # for their own attributes; the hot base fields stay slot-backed.
+    __slots__ = (
+        "node_id",
+        "network",
+        "sim",
+        "state",
+        "incarnation",
+        "dispatch_delay",
+        "_muted",
+        "_timers",
+        "_periodic",
+    )
+
     def __init__(self, node_id: NodeId, network: Network) -> None:
         self.node_id = node_id
         self.network = network

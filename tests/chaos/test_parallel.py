@@ -1,0 +1,84 @@
+"""Determinism of the sharded runner: parallel must equal serial.
+
+The whole fast path leans on one claim — a chaos run is a pure function
+of ``(config, seed, schedule)``, so sharding seeds across processes and
+merging by index reproduces the serial run bit-for-bit.  These tests pin
+that claim at three levels: the run itself, the merge primitive, and the
+end-to-end explorer.
+"""
+
+from repro.chaos import ChaosConfig, explore
+from repro.chaos.runner import run_schedule
+from repro.faults.schedule import FaultSchedule
+from repro.parallel import effective_workers, map_sharded, starmap_sharded
+
+TINY = ChaosConfig(n_servers=3, n_sessions=1, duration=4.0, profile="mixed")
+
+
+def test_run_schedule_is_deterministic_in_process():
+    first = run_schedule(TINY, 7, FaultSchedule(events=[]))
+    second = run_schedule(TINY, 7, FaultSchedule(events=[]))
+    assert first.digest == second.digest
+    assert first.responses == second.responses
+
+
+def _square(x):
+    return x * x
+
+
+def _add(a, b):
+    return a + b
+
+
+class TestMergePrimitive:
+    def test_results_come_back_in_task_order(self):
+        tasks = list(range(20))
+        assert map_sharded(_square, tasks, workers=4) == [
+            _square(t) for t in tasks
+        ]
+
+    def test_serial_path_matches_pool_path(self):
+        tasks = list(range(8))
+        assert map_sharded(_square, tasks, workers=1) == map_sharded(
+            _square, tasks, workers=3
+        )
+
+    def test_starmap_order(self):
+        tasks = [(i, 10 * i) for i in range(6)]
+        assert starmap_sharded(_add, tasks, workers=3) == [
+            a + b for a, b in tasks
+        ]
+
+    def test_effective_workers(self):
+        assert effective_workers(5) == 5
+        assert effective_workers(None) >= 1
+        assert effective_workers(0) >= 1
+
+
+class TestExplorerSharding:
+    def test_worker_count_does_not_change_the_report(self):
+        serial = explore(TINY, seed=3, iterations=4, artifact_dir=None)
+        sharded = explore(
+            TINY, seed=3, iterations=4, artifact_dir=None, workers=4
+        )
+        assert [it.result.digest for it in serial.iterations] == [
+            it.result.digest for it in sharded.iterations
+        ]
+        assert [it.run_seed for it in serial.iterations] == [
+            it.run_seed for it in sharded.iterations
+        ]
+        assert [it.index for it in sharded.iterations] == [0, 1, 2, 3]
+        assert serial.violations_found == sharded.violations_found
+
+    def test_progress_lines_identical_and_ordered(self):
+        serial_lines: list[str] = []
+        sharded_lines: list[str] = []
+        explore(
+            TINY, seed=3, iterations=3, artifact_dir=None,
+            echo=serial_lines.append,
+        )
+        explore(
+            TINY, seed=3, iterations=3, artifact_dir=None,
+            echo=sharded_lines.append, workers=3,
+        )
+        assert serial_lines == sharded_lines

@@ -1,0 +1,199 @@
+"""Delta (copy-on-write) context propagation: diffing, wire cost,
+reconstruction, and the end-to-end primary→backup path.
+
+The contract under test: a receiver that applies a delta to its record at
+the delta's base epoch ends up with *exactly* the snapshot a full
+propagation would have carried — and a receiver anywhere else refuses the
+delta (counted as a gap) rather than building a frankenstate.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.context import (
+    BackupContext,
+    ContextDelta,
+    ContextSnapshot,
+    PrimaryContext,
+    apply_state_delta,
+    estimate_size,
+    state_delta,
+)
+from repro.core.wire import Propagate
+
+from .conftest import make_vod_cluster, start_streaming_session
+
+
+@dataclass(frozen=True)
+class PlayState:
+    position: int = 0
+    rate: float = 1.0
+    buffer: tuple = ()
+
+
+class TestStateDelta:
+    def test_same_object_is_empty_delta(self):
+        state = PlayState()
+        assert state_delta(state, state) == ()
+
+    def test_changed_fields_only(self):
+        old = PlayState(position=3, buffer=("a", "b"))
+        new = PlayState(position=4, buffer=("a", "b"))
+        assert state_delta(old, new) == (("position", 4),)
+
+    def test_roundtrip(self):
+        old = PlayState(position=3, rate=1.0)
+        new = PlayState(position=9, rate=2.0)
+        assert apply_state_delta(old, state_delta(old, new)) == new
+
+    def test_undiffable_states_return_none(self):
+        assert state_delta([1], [1, 2]) is None
+        assert state_delta(PlayState(), (1, 2)) is None
+
+
+class TestContextDelta:
+    def test_delta_reconstructs_exactly_what_full_would_ship(self):
+        ctx = PrimaryContext(app_state=PlayState(position=1))
+        base = ctx.snapshot(now=1.0)
+        ctx.app_state = PlayState(position=2)
+        ctx.update_counter = 5
+        delta = ctx.delta(now=2.0)
+        assert delta is not None
+        rebuilt = delta.apply_to(base)
+        assert rebuilt == ContextSnapshot(
+            app_state=PlayState(position=2),
+            update_counter=5,
+            response_counter=0,
+            stamped_at=2.0,
+            epoch=base.epoch + 1,
+        )
+
+    def test_delta_refuses_wrong_base_epoch(self):
+        ctx = PrimaryContext(app_state=PlayState())
+        ctx.snapshot(now=1.0)
+        ctx.app_state = PlayState(position=1)
+        delta = ctx.delta(now=2.0)
+        stranger = ContextSnapshot(app_state=PlayState(), epoch=999)
+        with pytest.raises(ValueError):
+            delta.apply_to(stranger)
+
+    def test_no_capture_yet_means_no_delta(self):
+        ctx = PrimaryContext(app_state=PlayState())
+        assert ctx.delta(now=1.0) is None  # caller falls back to full
+
+    def test_undiffable_state_means_no_delta(self):
+        ctx = PrimaryContext(app_state=[1, 2])
+        ctx.snapshot(now=1.0)
+        ctx.app_state = [1, 2, 3]
+        assert ctx.delta(now=2.0) is None
+
+    def test_delta_is_cheaper_on_the_wire_than_full(self):
+        big_buffer = tuple(f"frame-{i}" for i in range(200))
+        ctx = PrimaryContext(app_state=PlayState(position=0, buffer=big_buffer))
+        full = ctx.snapshot(now=1.0)
+        ctx.app_state = PlayState(position=1, buffer=big_buffer)
+        delta = ctx.delta(now=2.0)
+        assert delta.size_estimate < full.size_estimate / 10
+        full_msg = Propagate(session_id="s", unit_id="u", snapshot=full)
+        delta_msg = Propagate(session_id="s", unit_id="u", delta=delta)
+        assert delta_msg.size_estimate == delta.size_estimate
+        assert full_msg.size_estimate == full.size_estimate
+
+    def test_estimate_size_is_deterministic(self):
+        value = {"a": [1, 2.5, "xy"], "b": PlayState(buffer=("f",))}
+        assert estimate_size(value) == estimate_size(value)
+
+
+class TestBackupLogReplay:
+    def test_empty_log_returns_base_without_copying(self):
+        base = ContextSnapshot(app_state=PlayState())
+        backup = BackupContext(base=base)
+        assert backup.effective(lambda s, u: s) is base
+
+    def test_tying_counters_with_unorderable_payloads(self):
+        # update payloads are opaque application values: dicts here, which
+        # are not orderable — the replay sort must key on the counter only
+        # (sorting the raw tuples raised TypeError on ties)
+        backup = BackupContext(base=ContextSnapshot(app_state=(), update_counter=0))
+        backup.apply_update(2, {"op": "b"})
+        backup.apply_update(1, {"op": "a"})
+        backup.apply_update(2, {"op": "c"})
+        effective = backup.effective(lambda s, u: s + (u["op"],))
+        assert effective.app_state == ("a", "b", "c")
+        assert effective.update_counter == 2
+
+
+class TestClusterDeltaPath:
+    def test_steady_state_sends_mostly_deltas(self):
+        cluster = make_vod_cluster(propagation_period=0.3)
+        _, handle = start_streaming_session(cluster, run=8.0)
+        deltas = sum(
+            s.counters["propagations_delta"] for s in cluster.servers.values()
+        )
+        fulls = sum(
+            s.counters["propagations_full"] for s in cluster.servers.values()
+        )
+        gaps = sum(
+            s.counters["propagation_delta_gaps"]
+            for s in cluster.servers.values()
+        )
+        assert deltas > fulls  # full only at start + every Nth
+        assert gaps == 0  # totally ordered propagation: bases always match
+        assert len(handle.received) > 0
+
+    def test_delta_bytes_cheaper_than_full_only(self):
+        def bytes_processed(**policy_kwargs):
+            cluster = make_vod_cluster(
+                propagation_period=0.3, **policy_kwargs
+            )
+            start_streaming_session(cluster, run=8.0)
+            return sum(
+                s.counters["propagation_bytes_processed"]
+                for s in cluster.servers.values()
+            )
+
+        with_deltas = bytes_processed(delta_propagation=True)
+        full_only = bytes_processed(delta_propagation=False)
+        assert 0 < with_deltas < full_only
+
+    def test_failover_freshness_with_deltas_on(self):
+        cluster = make_vod_cluster(propagation_period=0.3)
+        _, handle = start_streaming_session(cluster, run=6.0)
+        victim = cluster.primaries_of(handle.session_id)[0]
+        before = len(handle.received)
+        cluster.crash_server(victim)
+        cluster.run(8.0)
+        assert cluster.primaries_of(handle.session_id)[0] != victim
+        assert len(handle.received) > before  # stream survived the takeover
+
+    def test_epoch_gap_falls_back_instead_of_corrupting(self):
+        cluster = make_vod_cluster(propagation_period=0.3)
+        _, handle = start_streaming_session(cluster, run=4.0)
+        session = handle.session_id
+        primary = cluster.primaries_of(session)[0]
+        observer = next(
+            s
+            for sid, s in cluster.servers.items()
+            if sid != primary and "m0" in s.unit_dbs
+        )
+        record = observer.unit_dbs["m0"].get(session)
+        assert record is not None
+        before_epoch = record.snapshot.epoch
+        gaps_before = observer.counters["propagation_delta_gaps"]
+        stray = Propagate(
+            session_id=session,
+            unit_id="m0",
+            delta=ContextDelta(
+                base_epoch=before_epoch + 40,  # a future lineage we missed
+                epoch=before_epoch + 41,
+                update_counter=999,
+                response_counter=999,
+                stamped_at=99.0,
+                changes=(("position", 12345),),
+            ),
+        )
+        observer._on_propagate(stray)
+        assert observer.counters["propagation_delta_gaps"] == gaps_before + 1
+        # the record was left untouched rather than patched off-base
+        assert observer.unit_dbs["m0"].get(session).snapshot.epoch == before_epoch

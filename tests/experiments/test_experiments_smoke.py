@@ -25,10 +25,13 @@ def test_e2_load_shape():
     by_key = {(r[0], r[1]): r for r in rows}
     # period effect at fixed backups=0: T=0.25 vs T=1.0
     assert by_key[(0, 0.25)][2] > 3 * by_key[(0, 1.0)][2]
-    # backups effect at fixed period
-    assert by_key[(2, 0.25)][3] > by_key[(0, 0.25)][3]
+    # the delta-accounted wire cost also rises as the period shrinks,
+    # but sub-linearly in message count (deltas ship only changed fields)
+    assert by_key[(0, 0.25)][3] > by_key[(0, 1.0)][3]
+    # backups effect at fixed period (backup_updates is column 4 now)
+    assert by_key[(2, 0.25)][4] > by_key[(0, 0.25)][4]
     # responses roughly equal everywhere
-    responses = [r[5] for r in rows]
+    responses = [r[6] for r in rows]
     assert max(responses) - min(responses) < 2.0
 
 

@@ -1,0 +1,126 @@
+"""Fast-path kernel internals: live counter, lazy-deletion compaction,
+and the slotted event representation.
+
+``test_engine.py`` covers the simulator's public contract; these tests
+pin the accounting and compaction machinery the fast path added, which
+has failure modes (counter drift, dropped events on re-heapify, stale
+handles after ``clear``) that no behavioural test would catch until much
+later and far away.
+"""
+
+import pytest
+
+from repro.sim.engine import _COMPACT_MIN_DEAD, Event, Simulator
+
+
+def noop():
+    return None
+
+
+class TestLiveCounter:
+    def test_counts_schedule_cancel_and_pop(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i), noop) for i in range(5)]
+        assert sim.pending_events == 5
+        events[3].cancel()
+        assert sim.pending_events == 4
+        sim.run_until(1.5)  # pops t=0 and t=1
+        assert sim.pending_events == 2
+        sim.run_until(10.0)
+        assert sim.pending_events == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, noop)
+        sim.schedule(2.0, noop)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_execution_is_a_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, noop)
+        sim.run_until(2.0)
+        event.cancel()
+        assert sim.pending_events == 0
+        assert not event.cancelled  # fired, not cancelled
+
+    def test_clear_resets_and_detaches_handles(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), noop) for i in range(3)]
+        sim.clear()
+        assert sim.pending_events == 0
+        # cancelling a handle from before the clear must not drive the
+        # live counter negative or resurrect dead accounting
+        events[0].cancel()
+        assert sim.pending_events == 0
+        sim.schedule(1.0, noop)
+        assert sim.pending_events == 1
+
+
+class TestCompaction:
+    def test_mass_cancellation_shrinks_the_heap(self):
+        sim = Simulator()
+        keep = sim.schedule(50.0, noop)
+        doomed = [sim.schedule(float(i + 1), noop) for i in range(4 * _COMPACT_MIN_DEAD)]
+        for event in doomed:
+            event.cancel()
+        # well past the threshold: the dead entries must be gone
+        assert len(sim._queue) < _COMPACT_MIN_DEAD
+        assert sim.pending_events == 1
+        assert not keep.finished
+
+    def test_execution_order_survives_compaction(self):
+        sim = Simulator()
+        fired: list[str] = []
+        survivors = []
+        doomed = []
+        for i in range(3 * _COMPACT_MIN_DEAD):
+            t = float(i + 1)
+            doomed.append(sim.schedule(t, noop))
+            survivors.append(
+                sim.schedule(t, lambda t=t: fired.append(f"a{t}"))
+            )
+            survivors.append(
+                sim.schedule(t, lambda t=t: fired.append(f"b{t}"))
+            )
+        for event in doomed:
+            event.cancel()  # triggers compaction partway through
+        sim.run_until(1e9)
+        expected = [
+            f"{tag}{float(i + 1)}"
+            for i in range(3 * _COMPACT_MIN_DEAD)
+            for tag in ("a", "b")
+        ]
+        assert fired == expected  # time order, insertion-order ties
+
+    def test_compaction_during_callback_is_safe(self):
+        # a callback that mass-cancels rebinds the heap mid-run_until;
+        # remaining events must still fire
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(90.0, noop) for _ in range(3 * _COMPACT_MIN_DEAD)]
+
+        def massacre():
+            for event in doomed:
+                event.cancel()
+
+        sim.schedule(1.0, massacre)
+        sim.schedule(2.0, lambda: fired.append("after"))
+        sim.run_until(100.0)
+        assert fired == ["after"]
+        assert sim.pending_events == 0
+
+
+class TestSlottedEvent:
+    def test_event_has_no_dict(self):
+        event = Simulator().schedule(1.0, noop)
+        with pytest.raises(AttributeError):
+            event.__dict__
+
+    def test_heap_entries_are_tuples(self):
+        sim = Simulator()
+        sim.schedule(1.0, noop)
+        entry = sim._queue[0]
+        assert isinstance(entry, tuple)
+        assert entry[0] == 1.0 and isinstance(entry[2], Event)

@@ -8,6 +8,8 @@
     python -m repro chaos --seed 1 --iterations 5
     python -m repro chaos --workers 4 --iterations 8
     python -m repro chaos --replay chaos-artifacts/chaos-1-3.json
+    python -m repro lint src/              # determinism & hygiene lint
+    python -m repro lint --list-rules
 """
 
 from __future__ import annotations
@@ -74,9 +76,9 @@ def _cmd_bench(args) -> int:
     from repro.parallel import effective_workers
 
     workers = effective_workers(args.workers)
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro-lint: allow(wall-clock)
     results = run_all(args.ids or None, seed=args.seed, fast=args.fast, workers=workers)
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - started  # repro-lint: allow(wall-clock)
     print(
         f"bench: {len(results)} experiment(s), {workers} worker(s), "
         f"{elapsed:.1f}s wall total"
@@ -139,6 +141,12 @@ def _cmd_chaos(args) -> int:
     return 1 if report.violations_found > 0 else 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run
+
+    return run(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -171,12 +179,12 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes (default 0 = one per available core)",
     )
 
-    policy = sub.add_parser(
+    policy_cmd = sub.add_parser(
         "policy", help="derive availability parameters from a quality target"
     )
-    policy.add_argument("--target", type=float, required=True)
-    policy.add_argument("--failure-rate", type=float, required=True)
-    policy.add_argument("--period", type=float, default=0.5)
+    policy_cmd.add_argument("--target", type=float, required=True)
+    policy_cmd.add_argument("--failure-rate", type=float, required=True)
+    policy_cmd.add_argument("--period", type=float, default=0.5)
 
     chaos = sub.add_parser(
         "chaos",
@@ -214,7 +222,18 @@ def main(argv: list[str] | None = None) -> int:
         help="re-run a repro artifact instead of exploring",
     )
 
+    from repro.lint.cli import build_parser as build_lint_parser
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & protocol-hygiene static analysis "
+        "(exit 0 = clean, 1 = findings)",
+    )
+    build_lint_parser(lint)
+
     args = parser.parse_args(argv)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "demo":
         return _cmd_demo(args)
     if args.command == "experiments":

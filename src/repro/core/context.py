@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Callable
 
 # ---------------------------------------------------------------------------
 # byte-size accounting
@@ -74,7 +74,7 @@ def estimate_size(value: Any) -> int:
 # ---------------------------------------------------------------------------
 
 
-def state_delta(old: Any, new: Any):
+def state_delta(old: Any, new: Any) -> tuple[tuple[str, Any], ...] | None:
     """Field-level diff between two application states.
 
     Returns a tuple of ``(field_name, new_value)`` pairs, or ``None`` when
@@ -279,7 +279,7 @@ class BackupContext:
             if counter > snapshot.update_counter
         ]
 
-    def effective(self, apply_update_fn) -> ContextSnapshot:
+    def effective(self, apply_update_fn: Callable[[Any, Any], Any]) -> ContextSnapshot:
         """The snapshot a takeover would start from: base plus logged
         updates, replayed through the application's update function.
 

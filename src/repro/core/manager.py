@@ -15,7 +15,6 @@ required session group size.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.analysis.availability import context_loss_probability
@@ -144,7 +143,7 @@ class AvailabilityManager:
         )
         policy.num_backups = backups
         live = sum(1 for s in self.cluster.servers.values() if s.is_up())
-        spawn_needed = max(0, (backups + 1) - live)
+        spawn_needed = max(0, policy.session_group_size - live)
         decision = ManagerDecision(
             time=now,
             observed_failure_rate=rate,

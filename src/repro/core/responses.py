@@ -45,7 +45,9 @@ class ResendAll:
     regenerates the window, so the client may see up to one propagation
     period of duplicates (the VoD behaviour described in Section 3.1)."""
 
-    def resolve(self, app, state, estimated_uncertain):
+    def resolve(
+        self, app: ServiceApplication, state: Any, estimated_uncertain: int
+    ) -> tuple[Any, list[ResponseBody]]:
         return state, []
 
     def __repr__(self) -> str:
@@ -55,7 +57,9 @@ class ResendAll:
 class SkipUncertain:
     """Favor no-duplicates: jump past the estimated uncertainty window."""
 
-    def resolve(self, app, state, estimated_uncertain):
+    def resolve(
+        self, app: ServiceApplication, state: Any, estimated_uncertain: int
+    ) -> tuple[Any, list[ResponseBody]]:
         if estimated_uncertain > 0:
             state = app.advance(state, estimated_uncertain)
         return state, []
@@ -72,7 +76,9 @@ class SelectiveResend:
     def __init__(self, keep: Callable[[ResponseBody], bool]) -> None:
         self.keep = keep
 
-    def resolve(self, app, state, estimated_uncertain):
+    def resolve(
+        self, app: ServiceApplication, state: Any, estimated_uncertain: int
+    ) -> tuple[Any, list[ResponseBody]]:
         resend: list[ResponseBody] = []
         for _ in range(estimated_uncertain):
             state, produced = app.next_responses(state)

@@ -13,11 +13,13 @@ exchanging messages.  The paper's preferences are encoded directly:
 
 from __future__ import annotations
 
-from repro.core.unit_db import UnitDatabase
+from typing import Iterable
+
+from repro.core.unit_db import SessionRecord, UnitDatabase
 from repro.sim.topology import NodeId
 
 
-def _sorted_members(members) -> list[NodeId]:
+def _sorted_members(members: Iterable[NodeId]) -> list[NodeId]:
     return sorted(members, key=str)
 
 
@@ -31,8 +33,8 @@ def _least_loaded(
 
 
 def select_for_session(
-    record,
-    members,
+    record: SessionRecord,
+    members: Iterable[NodeId],
     num_backups: int,
     loads: dict[NodeId, float],
     prefer_backups: bool = True,
@@ -85,7 +87,7 @@ def select_for_session(
 
 def allocate_sessions(
     db: UnitDatabase,
-    members,
+    members: Iterable[NodeId],
     num_backups: int,
     rebalance: bool = False,
     prefer_backups: bool = True,

@@ -27,7 +27,7 @@ from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable
 
-from repro.core.application import ServiceApplication
+from repro.core.application import ResponseBody, ServiceApplication
 from repro.core.config import AvailabilityPolicy
 from repro.core.context import BackupContext, ContextSnapshot, PrimaryContext
 from repro.core.selection import allocate_sessions, select_for_session
@@ -51,7 +51,8 @@ from repro.core.wire import (
 )
 from repro.gcs.daemon import GcsDaemon
 from repro.gcs.settings import GcsSettings
-from repro.gcs.view import GroupView
+from repro.gcs.spec import SpecMonitor
+from repro.gcs.view import Configuration, GroupView
 from repro.sim.network import Network
 from repro.sim.topology import NodeId
 
@@ -133,7 +134,7 @@ class FrameworkServer:
         catalog: dict[str, str],
         policy: AvailabilityPolicy | None = None,
         settings: GcsSettings | None = None,
-        monitor=None,
+        monitor: SpecMonitor | None = None,
     ) -> None:
         self.server_id = server_id
         self.policy = policy or AvailabilityPolicy()
@@ -254,7 +255,7 @@ class FrameworkServer:
     # ------------------------------------------------------------------
     # GcsApplication callbacks
     # ------------------------------------------------------------------
-    def on_config_view(self, config) -> None:
+    def on_config_view(self, config: Configuration) -> None:
         self.counters["config_views"] += 1
 
     def on_group_view(self, view: GroupView) -> None:
@@ -266,7 +267,9 @@ class FrameworkServer:
         elif group == service_group():
             self.counters["service_views"] += 1
 
-    def on_group_message(self, group: str, origin, payload, seq: int) -> None:
+    def on_group_message(
+        self, group: str, origin: NodeId, payload: object, seq: int
+    ) -> None:
         if isinstance(payload, StartSession):
             self._on_start_session(payload)
         elif isinstance(payload, ContextUpdate):
@@ -286,7 +289,7 @@ class FrameworkServer:
         else:
             self.counters["unknown_group_msg"] += 1
 
-    def on_ptp(self, sender: NodeId, payload) -> None:
+    def on_ptp(self, sender: NodeId, payload: object) -> None:
         if isinstance(payload, Handoff):
             self._on_handoff(payload)
         else:
@@ -566,7 +569,9 @@ class FrameworkServer:
                 return
         self._arm_response_timer(session_id)
 
-    def _send_response(self, runtime: _PrimaryRuntime, response, uncertain: bool) -> None:
+    def _send_response(
+        self, runtime: _PrimaryRuntime, response: ResponseBody, uncertain: bool
+    ) -> None:
         self.daemon.send_ptp(
             runtime.client_id,
             ResponseMsg(

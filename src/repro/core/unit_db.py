@@ -14,7 +14,7 @@ Section 3.4 uses to reallocate without extra communication).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.core.context import ContextSnapshot
 from repro.sim.topology import NodeId

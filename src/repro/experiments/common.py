@@ -14,7 +14,7 @@ from typing import Any
 import numpy as np
 
 from repro.core import AvailabilityPolicy, ServiceCluster
-from repro.core.application import RequestResponseApplication, ResponseBody
+from repro.core.application import RequestResponseApplication
 from repro.services.content import build_movie
 from repro.services.vod import VodApplication
 

@@ -27,9 +27,11 @@ def _run_one(task: tuple) -> tuple[str, list, float]:
     """Worker: run one experiment module; returns (name, tables, secs)."""
     name, seed, fast = task
     module = get_experiment(name)
-    started = time.time()
+    # Host-side progress accounting, never simulation state; perf_counter
+    # is monotonic (time.time() can jump under NTP slew).
+    started = time.perf_counter()  # repro-lint: allow(wall-clock)
     tables = module.run(seed=seed, fast=fast)
-    return name, tables, time.time() - started
+    return name, tables, time.perf_counter() - started  # repro-lint: allow(wall-clock)
 
 
 def run_all(

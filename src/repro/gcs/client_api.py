@@ -52,7 +52,7 @@ class GcsClient(Process):
         node_id: NodeId,
         network: Network,
         contacts: Iterable[NodeId],
-        app=None,
+        app: Any = None,
         settings: GcsSettings | None = None,
     ) -> None:
         super().__init__(node_id, network)

@@ -23,6 +23,7 @@ from repro.gcs.failure_detector import FailureDetector
 from repro.gcs.groups import GroupMap, MEMBERSHIP_GROUP
 from repro.gcs.membership import MembershipEngine
 from repro.gcs.messages import (
+    AttemptId,
     ClientAck,
     ClientMcast,
     Heartbeat,
@@ -40,6 +41,7 @@ from repro.gcs.messages import (
 )
 from repro.gcs.ordering import DuplicateFilter, HoldbackBuffer, PendingRequests
 from repro.gcs.settings import GcsSettings
+from repro.gcs.spec import SpecMonitor
 from repro.gcs.view import Configuration, GroupView, ViewId
 from repro.sim.network import Message, Network
 from repro.sim.process import Process
@@ -66,9 +68,9 @@ class GcsDaemon(Process):
         node_id: NodeId,
         network: Network,
         world: Iterable[NodeId],
-        app=None,
+        app: Any = None,
         settings: GcsSettings | None = None,
-        monitor=None,
+        monitor: SpecMonitor | None = None,
     ) -> None:
         super().__init__(node_id, network)
         self.world: list[NodeId] = [n for n in world]
@@ -143,7 +145,8 @@ class GcsDaemon(Process):
     def _boot(self) -> None:
         self._config_installed_at = self.sim.now
         self._emit_config_view()
-        self._hb_timer = self.set_periodic_timer(
+        # process-lifetime timer: crash() cancels every timer of this node
+        self._hb_timer = self.set_periodic_timer(  # repro-lint: allow(P202)
             self.settings.heartbeat_interval,
             self._tick,
             label=f"hb:{self.node_id}",
@@ -589,7 +592,7 @@ class GcsDaemon(Process):
                 if incarnation is not None:
                     self._member_incarnations[member] = incarnation
 
-    def build_sync_reply(self, attempt, view_counter: int) -> SyncReply:
+    def build_sync_reply(self, attempt: AttemptId, view_counter: int) -> SyncReply:
         return SyncReply(
             attempt=attempt,
             sender=self.node_id,

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.gcs.messages import Heartbeat
+from repro.gcs.view import ViewId
 from repro.sim.topology import NodeId
 
 
@@ -141,7 +142,7 @@ class FailureDetector:
         state = self._peers.get(peer)
         return state.incarnation if state else None
 
-    def divergent_peers(self, my_config_view_id, heard_after: float) -> list[NodeId]:
+    def divergent_peers(self, my_config_view_id: ViewId, heard_after: float) -> list[NodeId]:
         """Alive peers whose latest heartbeat (newer than ``heard_after``)
         reports a configuration different from mine.
 

@@ -31,7 +31,7 @@ views, which is precisely the partitionable behaviour the paper builds on.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from repro.gcs.messages import (
     AttemptId,
@@ -157,7 +157,7 @@ class MembershipEngine:
     # ------------------------------------------------------------------
     # coordinator role
     # ------------------------------------------------------------------
-    def _start_attempt(self, members) -> None:
+    def _start_attempt(self, members: Iterable[NodeId]) -> None:
         self.view_counter = max(
             self.view_counter, self.daemon.fd.max_view_counter_seen
         )

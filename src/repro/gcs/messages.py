@@ -15,7 +15,7 @@ from repro.sim.topology import NodeId
 
 
 @dataclass(frozen=True, slots=True)
-class RequestId:
+class RequestId:  # repro-lint: allow(P201) — id helper carried inside payloads, not dispatched
     """Globally unique id of one multicast request.
 
     ``origin`` is the daemon or client that created the message,
@@ -120,7 +120,7 @@ class ResyncRequired:
 
 
 @dataclass(frozen=True, slots=True)
-class AttemptId:
+class AttemptId:  # repro-lint: allow(P201) — id helper carried inside payloads, not dispatched
     """Identifies one view-formation attempt: ``(counter, coordinator)``."""
 
     counter: int

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import total_ordering
+from typing import Iterable
 
 from repro.sim.topology import NodeId
 
@@ -52,7 +53,7 @@ class Configuration:
     members: tuple[NodeId, ...]
 
     @staticmethod
-    def make(view_id: ViewId, members) -> "Configuration":
+    def make(view_id: ViewId, members: Iterable[NodeId]) -> "Configuration":
         return Configuration(view_id=view_id, members=tuple(sorted(members, key=str)))
 
     @property
@@ -87,7 +88,9 @@ class GroupView:
     members: tuple[NodeId, ...]
 
     @staticmethod
-    def make(group: str, config_view_id: ViewId, change_seq: int, members) -> "GroupView":
+    def make(
+        group: str, config_view_id: ViewId, change_seq: int, members: Iterable[NodeId]
+    ) -> "GroupView":
         return GroupView(
             group=group,
             config_view_id=config_view_id,

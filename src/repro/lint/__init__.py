@@ -1,0 +1,43 @@
+"""``repro lint`` — determinism & protocol-hygiene static analysis.
+
+The reproduction's headline properties (bit-identical chaos replay,
+sharded-equals-serial parallel runs, SHA-256 trace digests as determinism
+witnesses) all rest on source-level discipline that nothing used to check:
+no wall clocks or ambient entropy in protocol code, stable iteration
+orders, one dispatch site per wire message, frozen message payloads, and
+config knobs that are both declared and read.  This package verifies those
+invariants mechanically, at lint time, before a single simulation runs.
+
+Two rule families (see :mod:`repro.lint.registry` for the catalogue):
+
+* **D-rules** (determinism): wall clocks, unseeded RNG, set-iteration
+  order escapes, ``id()`` ordering, missing ``__slots__`` on hot classes,
+  mutable defaults.
+* **P-rules** (protocol hygiene): wire-message dispatch completeness,
+  stored-timer cancellation paths, frozen/unmutated message payloads,
+  config-knob declaration/read consistency.
+
+Findings can be suppressed per line with ``# repro-lint: allow(RULE)``
+(by rule id or slug), on the offending line or the line above it.
+
+Usage::
+
+    python -m repro lint src/                 # lint the tree, exit 0/1
+    python -m repro lint src/ --json out.json # machine-readable report
+    python -m repro lint --list-rules
+"""
+
+from repro.lint.engine import LintContext, ModuleInfo, lint_paths
+from repro.lint.registry import Rule, all_rules, get_rule
+from repro.lint.report import Finding, Report
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "ModuleInfo",
+    "Report",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+]

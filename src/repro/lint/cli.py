@@ -1,0 +1,81 @@
+"""``python -m repro lint`` — command-line front end of the rule engine."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.lint.engine import lint_paths
+from repro.lint.registry import all_rules
+
+
+def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.ArgumentParser:
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro lint", description=__doc__
+        )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the machine-readable report to FILE",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids/slugs to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-finding output"
+    )
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ",".join(sorted(rule.scope)) if rule.scope else "everywhere"
+            kind = "project" if rule.project_check is not None else "file"
+            print(f"{rule.rule_id}  {rule.slug:<16} [{kind}; {scope}] {rule.summary}")
+        return 0
+    select = None
+    if args.select:
+        select = [token for token in args.select.split(",") if token.strip()]
+    try:
+        report = lint_paths(args.paths, select=select)
+    except (FileNotFoundError, KeyError) as error:
+        print(f"repro lint: {error}")
+        return 2
+    if args.json:
+        Path(args.json).write_text(report.to_json() + "\n", encoding="utf-8")
+    if not args.quiet:
+        for finding in report.findings:
+            print(finding.render())
+    counts = ", ".join(
+        f"{rule_id}:{count}" for rule_id, count in report.counts_by_rule().items()
+    )
+    status = "clean" if report.ok else f"FAILED ({counts})"
+    print(
+        f"repro lint: {report.files_scanned} file(s), "
+        f"{len(report.findings)} finding(s), {report.suppressed} suppressed "
+        f"— {status}"
+    )
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,235 @@
+"""The lint engine: file collection, parsing, pragmas, rule driving.
+
+The engine parses every target file once, annotates the AST with parent
+links and an import-alias table (so rules can resolve dotted call targets
+like ``np.random.default_rng`` to qualified names), extracts
+``# repro-lint: allow(...)`` pragmas, and then runs every applicable rule
+— file rules per module, project rules once over the whole set.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.registry import Rule, all_rules
+from repro.lint.report import Finding, Report
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*allow\(([^)]*)\)")
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """One parsed source file plus the metadata rules need."""
+
+    path: Path
+    display: str  # posix path used in findings
+    parts: tuple[str, ...]  # path segments for scope matching
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    #: line number -> set of allowed rule tokens (ids or slugs)
+    pragmas: dict[int, frozenset[str]]
+    #: local name -> qualified dotted origin ("np" -> "numpy",
+    #: "perf_counter" -> "time.perf_counter", "datetime" -> "datetime.datetime")
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    def endswith(self, *suffixes: str) -> bool:
+        return any(self.display.endswith(suffix) for suffix in suffixes)
+
+    def qualified_name(self, node: ast.expr) -> str | None:
+        """Resolve a Name/Attribute chain to a dotted qualified name using
+        the module's import aliases; ``None`` if the base is not imported.
+
+        Plain builtins resolve to their own name (``id`` -> ``"id"``)
+        unless shadowed by an import.
+        """
+        chain: list[str] = []
+        cursor: ast.expr = node
+        while isinstance(cursor, ast.Attribute):
+            chain.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        base = self.aliases.get(cursor.id, cursor.id if not chain else None)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(chain)])
+
+
+class LintContext:
+    """Every module of one lint run (what project rules see)."""
+
+    def __init__(self, modules: list[ModuleInfo]) -> None:
+        self.modules = modules
+
+    def modules_matching(self, *suffixes: str) -> list[ModuleInfo]:
+        return [m for m in self.modules if m.endswith(*suffixes)]
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = (
+                    name.name if name.asname else name.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _collect_pragmas(lines: list[str]) -> dict[int, frozenset[str]]:
+    pragmas: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        tokens = frozenset(
+            token.strip() for token in re.split(r"[,\s]+", match.group(1)) if token.strip()
+        )
+        if tokens:
+            pragmas[lineno] = tokens
+    return pragmas
+
+
+def _link_parents(tree: ast.Module) -> None:
+    """Attach a ``.lint_parent`` attribute to every node (rules use it to
+    ask 'is this expression a direct argument of sorted(...)')."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.lint_parent = node  # type: ignore[attr-defined]
+
+
+def parse_module(path: Path, display: str | None = None) -> ModuleInfo:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    _link_parents(tree)
+    lines = source.splitlines()
+    shown = display if display is not None else path.as_posix()
+    return ModuleInfo(
+        path=path,
+        display=shown,
+        parts=tuple(Path(shown).parts),
+        source=source,
+        tree=tree,
+        lines=lines,
+        pragmas=_collect_pragmas(lines),
+        aliases=_collect_aliases(tree),
+    )
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand the given paths into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in path.rglob("*.py"):
+                if "__pycache__" not in child.parts:
+                    found.add(child)
+        elif path.suffix == ".py" and path.exists():
+            found.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def _suppressed(finding: Finding, module: ModuleInfo) -> bool:
+    """A finding is suppressed by an allow() pragma naming its rule id or
+    slug on the finding's line or the line directly above it."""
+    for lineno in (finding.line, finding.line - 1):
+        tokens = module.pragmas.get(lineno)
+        if tokens and (finding.rule in tokens or finding.slug in tokens):
+            return True
+    return False
+
+
+def _run_rules(
+    context: LintContext, rules: list[Rule]
+) -> tuple[list[Finding], int]:
+    by_display = {module.display: module for module in context.modules}
+    kept: list[Finding] = []
+    suppressed = 0
+    raw: list[Finding] = []
+    for rule in rules:
+        if rule.file_check is not None:
+            for module in context.modules:
+                if rule.applies_to(module.parts):
+                    raw.extend(rule.file_check(module))
+        elif rule.project_check is not None:
+            raw.extend(rule.project_check(context))
+    for finding in raw:
+        module = by_display.get(finding.path)
+        if module is not None and _suppressed(finding, module):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: Iterable[str | Path], select: Iterable[str] | None = None
+) -> Report:
+    """Lint the given files/directories; returns the full :class:`Report`.
+
+    ``select`` restricts the run to the named rules (ids or slugs).
+    """
+    rules = all_rules()
+    if select is not None:
+        wanted = {token.strip() for token in select}
+        rules = [r for r in rules if r.rule_id in wanted or r.slug in wanted]
+        unknown = wanted - {r.rule_id for r in rules} - {r.slug for r in rules}
+        if unknown:
+            raise KeyError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+    modules = [parse_module(path) for path in collect_files(paths)]
+    context = LintContext(modules)
+    findings, suppressed = _run_rules(context, rules)
+    return Report(
+        findings=findings,
+        files_scanned=len(modules),
+        suppressed=suppressed,
+        rules_run=[r.rule_id for r in rules],
+    )
+
+
+def iter_function_defs(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _iter_scope_children(node: ast.AST) -> Iterator[ast.AST]:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested scope: analysed separately
+        yield child
+        yield from _iter_scope_children(child)
+
+
+def walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Yield ``scope`` and its nodes in document order, without descending
+    into nested function definitions (each is its own analysis scope)."""
+    yield scope
+    yield from _iter_scope_children(scope)
+
+
+__all__ = [
+    "LintContext",
+    "ModuleInfo",
+    "collect_files",
+    "iter_function_defs",
+    "lint_paths",
+    "parse_module",
+    "walk_scope",
+]

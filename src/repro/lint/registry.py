@@ -1,0 +1,115 @@
+"""Rule registry: ids, slugs, scopes, and the registration decorator.
+
+A rule is either a *file* rule (checks one parsed module at a time) or a
+*project* rule (sees every scanned module at once — needed for
+cross-module invariants like dispatch completeness).  Rules register
+themselves via the :func:`rule` decorator at import time; the engine
+imports the two rule modules and iterates :func:`all_rules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.lint.report import Finding
+
+if TYPE_CHECKING:  # circular at runtime: engine imports the rule modules
+    from repro.lint.engine import LintContext, ModuleInfo
+
+FileCheck = Callable[["ModuleInfo"], Iterable[Finding]]
+ProjectCheck = Callable[["LintContext"], Iterable[Finding]]
+
+#: Path segments that mark a module as *protocol scope* — code whose
+#: behaviour feeds simulation state or trace digests, where determinism
+#: rules apply at full strength.
+PROTOCOL_SCOPE = frozenset({"sim", "gcs", "core", "chaos", "faults"})
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """Metadata + checker for one lint rule."""
+
+    rule_id: str  # "D101"
+    slug: str  # "wall-clock"
+    summary: str
+    scope: frozenset[str] | None  # path segments; None = every module
+    file_check: FileCheck | None = None
+    project_check: ProjectCheck | None = None
+
+    def applies_to(self, parts: tuple[str, ...]) -> bool:
+        if self.scope is None:
+            return True
+        return bool(self.scope.intersection(parts))
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    if (rule.file_check is None) == (rule.project_check is None):
+        raise ValueError(f"{rule.rule_id}: exactly one checker kind required")
+    _REGISTRY[rule.rule_id] = rule
+    return rule
+
+
+def rule(
+    rule_id: str,
+    slug: str,
+    summary: str,
+    scope: Iterable[str] | None = None,
+    project: bool = False,
+) -> Callable[[Callable[..., Iterable[Finding]]], Callable[..., Iterable[Finding]]]:
+    """Decorator registering ``fn`` as the checker of a new rule."""
+
+    def decorate(
+        fn: Callable[..., Iterable[Finding]]
+    ) -> Callable[..., Iterable[Finding]]:
+        register(
+            Rule(
+                rule_id=rule_id,
+                slug=slug,
+                summary=summary,
+                scope=frozenset(scope) if scope is not None else None,
+                file_check=None if project else fn,
+                project_check=fn if project else None,
+            )
+        )
+        return fn
+
+    return decorate
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    _load()
+    return [rule for _, rule in sorted(_REGISTRY.items())]
+
+
+def get_rule(id_or_slug: str) -> Rule:
+    _load()
+    key = id_or_slug.strip()
+    for candidate in _REGISTRY.values():
+        if key in (candidate.rule_id, candidate.slug):
+            return candidate
+    raise KeyError(f"unknown rule {id_or_slug!r}")
+
+
+def _load() -> None:
+    """Import the rule modules (registration happens at import time)."""
+    import repro.lint.rules_determinism  # noqa: F401
+    import repro.lint.rules_protocol  # noqa: F401
+
+
+__all__ = [
+    "PROTOCOL_SCOPE",
+    "FileCheck",
+    "ProjectCheck",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "rule",
+]

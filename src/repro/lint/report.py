@@ -1,0 +1,72 @@
+"""Findings and the machine-readable lint report."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  # "D101"
+    slug: str  # "wall-clock"
+    path: str  # as given on the command line (posix separators)
+    line: int  # 1-based
+    col: int  # 0-based, as in the ast module
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}({self.slug}) {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "slug": self.slug,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(slots=True)
+class Report:
+    """Everything one lint run produced."""
+
+    findings: list[Finding]
+    files_scanned: int
+    suppressed: int  # findings silenced by allow() pragmas
+    rules_run: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "rules_run": list(self.rules_run),
+            "counts_by_rule": self.counts_by_rule(),
+            "findings": [f.to_dict() for f in sorted(self.findings, key=Finding.sort_key)],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+
+__all__ = ["Finding", "Report"]

@@ -14,7 +14,7 @@ framework), so content units are plain immutable data:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

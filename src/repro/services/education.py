@@ -10,7 +10,7 @@ request/response path rather than the streaming path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.core.application import RequestResponseApplication, ResponseBody

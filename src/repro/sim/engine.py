@@ -29,7 +29,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 #: Compaction trigger: rebuild the heap once more than half of at least
 #: this many entries are cancelled.  The floor keeps tiny queues from
@@ -102,6 +102,8 @@ class Simulator:
     executed.  Callbacks may schedule further events (at or after the
     current time).
     """
+
+    __slots__ = ("_queue", "_seq", "_now", "_executed", "_running", "_live", "_dead")
 
     def __init__(self) -> None:
         self._queue: list[tuple[float, int, Event]] = []

@@ -32,7 +32,10 @@ from __future__ import annotations
 import itertools
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:
+    import numpy as np
 
 from repro.sim.engine import Simulator
 from repro.sim.latency import FixedLatency, LatencyModel
@@ -82,6 +85,33 @@ class Network:
     as simulator events with a latency drawn from ``latency_model``.
     """
 
+    __slots__ = (
+        "sim",
+        "topology",
+        "latency_model",
+        "trace",
+        "loss_probability",
+        "_loss_rng",
+        "_chaos_rng",
+        "duplicate_probability",
+        "reorder_probability",
+        "reorder_window",
+        "_link_extra_delay",
+        "total_duplicated",
+        "total_reordered",
+        "_handlers",
+        "_is_up",
+        "_msg_ids",
+        "_last_delivery",
+        "_last_send",
+        "_stats_sent",
+        "_stats_received",
+        "total_sent",
+        "total_delivered",
+        "total_dropped",
+        "dropped_by_reason",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -89,8 +119,8 @@ class Network:
         latency_model: LatencyModel | None = None,
         trace: TraceLog | None = None,
         loss_probability: float = 0.0,
-        loss_rng=None,
-        chaos_rng=None,
+        loss_rng: np.random.Generator | None = None,
+        chaos_rng: np.random.Generator | None = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError("loss_probability must be in [0, 1)")

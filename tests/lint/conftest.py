@@ -1,0 +1,27 @@
+"""Shared paths for the lint-engine tests."""
+
+from pathlib import Path
+
+import pytest
+
+TESTS_DIR = Path(__file__).resolve().parents[1]
+REPO_ROOT = TESTS_DIR.parent
+FIXTURES = TESTS_DIR / "lint_fixtures"
+BAD = FIXTURES / "bad"
+GOOD = FIXTURES / "good"
+SRC = REPO_ROOT / "src"
+
+
+@pytest.fixture(scope="session")
+def bad_dir() -> Path:
+    return BAD
+
+
+@pytest.fixture(scope="session")
+def good_dir() -> Path:
+    return GOOD
+
+
+@pytest.fixture(scope="session")
+def src_dir() -> Path:
+    return SRC

@@ -1,0 +1,122 @@
+"""allow() pragma semantics: same line, line above, id vs slug, and the
+suppression counter."""
+
+from textwrap import dedent
+
+from repro.lint import lint_paths
+
+
+def _write(tmp_path, name, body):
+    path = tmp_path / "sim"
+    path.mkdir(exist_ok=True)
+    target = path / name
+    target.write_text(dedent(body), encoding="utf-8")
+    return target
+
+
+def test_pragma_on_same_line(tmp_path):
+    target = _write(
+        tmp_path,
+        "same_line.py",
+        """\
+        import time
+
+        def measure():
+            return time.time()  # repro-lint: allow(D101)
+        """,
+    )
+    report = lint_paths([target])
+    assert report.ok
+    assert report.suppressed == 1
+
+
+def test_pragma_on_line_above(tmp_path):
+    target = _write(
+        tmp_path,
+        "line_above.py",
+        """\
+        import time
+
+        def measure():
+            # repro-lint: allow(wall-clock)
+            return time.time()
+        """,
+    )
+    report = lint_paths([target])
+    assert report.ok
+    assert report.suppressed == 1
+
+
+def test_pragma_accepts_slug_or_id(tmp_path):
+    target = _write(
+        tmp_path,
+        "spellings.py",
+        """\
+        import time
+
+        def a():
+            return time.time()  # repro-lint: allow(D101)
+
+        def b():
+            return time.time()  # repro-lint: allow(wall-clock)
+        """,
+    )
+    report = lint_paths([target])
+    assert report.ok
+    assert report.suppressed == 2
+
+
+def test_pragma_for_other_rule_does_not_suppress(tmp_path):
+    target = _write(
+        tmp_path,
+        "wrong_rule.py",
+        """\
+        import time
+
+        def measure():
+            return time.time()  # repro-lint: allow(D102)
+        """,
+    )
+    report = lint_paths([target])
+    assert not report.ok
+    assert report.suppressed == 0
+    assert report.findings[0].rule == "D101"
+
+
+def test_pragma_list_suppresses_multiple_rules(tmp_path):
+    target = _write(
+        tmp_path,
+        "multi.py",
+        """\
+        import time
+        import uuid
+
+        def measure():
+            # repro-lint: allow(D101, D102)
+            return time.time(), uuid.uuid4()
+        """,
+    )
+    report = lint_paths([target])
+    assert report.ok
+    assert report.suppressed == 2
+
+
+def test_pragma_does_not_leak_to_other_lines(tmp_path):
+    target = _write(
+        tmp_path,
+        "leak.py",
+        """\
+        import time
+
+        def a():
+            return time.time()  # repro-lint: allow(D101)
+
+        def b():
+            return time.time()
+        """,
+    )
+    report = lint_paths([target])
+    assert not report.ok
+    assert report.suppressed == 1
+    assert len(report.findings) == 1
+    assert report.findings[0].line == 7

@@ -1,0 +1,36 @@
+"""Strict-typing gate smoke tests.
+
+mypy and ruff are CI dependencies, not runtime dependencies; locally
+these tests skip when the tools are absent (the blocking check lives in
+.github/workflows/ci.yml).
+"""
+
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from .conftest import REPO_ROOT, SRC
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_passes():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "src/repro"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_check_passes():
+    result = subprocess.run(
+        ["ruff", "check", str(SRC)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

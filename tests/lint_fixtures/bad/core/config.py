@@ -1,0 +1,9 @@
+"""Fixture knob declarations: one live, one dead."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Policy:
+    read_knob: float = 0.5
+    dead_knob: int = 3  # P204: never read by any consumer module

@@ -1,0 +1,9 @@
+"""Fixture knob consumer: reads one declared and one phantom knob."""
+
+
+def period(policy) -> float:
+    return policy.read_knob
+
+
+def phantom(policy) -> int:
+    return policy.ghost_knob  # P204: not declared in config.py

@@ -1,0 +1,28 @@
+"""Fixture endpoint: ambiguous dispatch, leaked timer, payload mutation."""
+
+from .messages import Mutable, Ping
+
+
+class Daemon:
+    def on_message(self, sender, message) -> None:
+        payload = message.payload
+        if isinstance(payload, Ping):
+            payload.seq += 1  # P203 part B: mutates a received object alias
+        elif isinstance(payload, Mutable):
+            self._note(payload)
+
+    def on_group_message(self, view, message) -> None:
+        if isinstance(message.payload, Ping):  # P201: second Ping site here
+            self._note(message.payload)
+
+    def start(self) -> None:
+        self._poll_timer = self.set_timer(1.0, self._poll)  # P202: no cancel
+
+    def _note(self, payload) -> None:
+        pass
+
+    def _poll(self) -> None:
+        pass
+
+    def set_timer(self, delay, callback):
+        raise NotImplementedError

@@ -1,0 +1,18 @@
+"""Fixture wire vocabulary: one orphan message, one mutable message."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class Pong:  # P201: never dispatched anywhere
+    seq: int
+
+
+@dataclass(slots=True)
+class Mutable:  # P203 part A: not frozen
+    seq: int

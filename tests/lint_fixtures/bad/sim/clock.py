@@ -1,0 +1,12 @@
+"""Fixture: D101 wall-clock reads inside simulation scope."""
+
+import datetime
+import time
+
+
+def stamp_event() -> float:
+    return time.time()  # D101
+
+
+def log_line() -> str:
+    return str(datetime.datetime.now())  # D101

@@ -1,0 +1,13 @@
+"""Fixture: D106 shared mutable defaults."""
+
+
+def collect(event, bucket=[]):  # D106: mutable default argument
+    bucket.append(event)
+    return bucket
+
+
+class Cache:
+    entries = {}  # D106: shared mutable class attribute
+
+    def put(self, key, value) -> None:
+        self.entries[key] = value

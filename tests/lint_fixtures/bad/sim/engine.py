@@ -1,0 +1,6 @@
+"""Fixture: D105 — a class in a designated hot module without __slots__."""
+
+
+class Simulator:  # D105: hot module, no __slots__
+    def __init__(self) -> None:
+        self.now = 0.0

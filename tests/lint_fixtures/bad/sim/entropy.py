@@ -1,0 +1,23 @@
+"""Fixture: D102 ambient entropy sources."""
+
+import os
+import random
+import uuid
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()  # D102
+
+
+def token() -> str:
+    return uuid.uuid4().hex  # D102
+
+
+def noise() -> float:
+    return float(np.random.rand())  # D102
+
+
+def salt() -> bytes:
+    return os.urandom(8)  # D102

@@ -1,0 +1,9 @@
+"""Fixture: D104 object-identity ordering."""
+
+
+def trace_key(event) -> int:
+    return id(event)  # D104: id() call
+
+
+def stable_sort(items: list) -> list:
+    return sorted(items, key=id)  # D104: id passed by reference

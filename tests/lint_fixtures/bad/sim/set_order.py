@@ -1,0 +1,21 @@
+"""Fixture: D103 set iteration orders escaping into results."""
+
+
+def broadcast(members: set) -> list:
+    sent = []
+    for member in members:  # D103: for-loop over a set
+        sent.append(member)
+    return sent
+
+
+def digest(members: set) -> str:
+    return ",".join(members)  # D103: join over a set
+
+
+def freeze(members: set) -> list:
+    return list(members)  # D103: list(set)
+
+
+def first_ids() -> list:
+    alive = {1, 2, 3}
+    return [node for node in alive]  # D103: comprehension over a set

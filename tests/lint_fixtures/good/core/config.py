@@ -1,0 +1,8 @@
+"""Fixture knob declarations: every knob is read by a consumer."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Policy:
+    read_knob: float = 0.5

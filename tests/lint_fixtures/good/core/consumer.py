@@ -1,0 +1,5 @@
+"""Fixture knob consumer: reads exactly the declared vocabulary."""
+
+
+def period(policy) -> float:
+    return policy.read_knob

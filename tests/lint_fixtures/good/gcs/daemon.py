@@ -1,0 +1,26 @@
+"""Fixture endpoint: single dispatch site, timer properly cancelled."""
+
+from .messages import Ping
+
+
+class Daemon:
+    __slots__ = ("_poll_timer",)
+
+    def on_message(self, sender, message) -> None:
+        if isinstance(message.payload, Ping):
+            self._note(message.payload)
+
+    def start(self) -> None:
+        self._poll_timer = self.set_timer(1.0, self._poll)
+
+    def shutdown(self) -> None:
+        self._poll_timer.cancel()
+
+    def _note(self, payload) -> None:
+        pass
+
+    def _poll(self) -> None:
+        pass
+
+    def set_timer(self, delay, callback):
+        raise NotImplementedError

@@ -1,0 +1,8 @@
+"""Fixture wire vocabulary: frozen, slotted, dispatched exactly once."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    seq: int

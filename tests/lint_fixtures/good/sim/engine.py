@@ -1,0 +1,30 @@
+"""Fixture: deterministic, slotted simulation code that passes every rule."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Tick:
+    at: float
+
+
+class Clock:
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, delta: float) -> None:
+        self.now += delta
+
+
+def ordered_members(members: set) -> list:
+    return sorted(members)  # set consumed order-independently
+
+
+def quorum(members: set) -> bool:
+    return len(members) >= 2
+
+
+def smallest(members: set) -> int:
+    return min(node for node in members)

@@ -1,0 +1,9 @@
+"""Fixture: a genuine host-time measurement, suppressed by pragma."""
+
+import time
+
+
+def measure(fn) -> float:
+    started = time.perf_counter()  # repro-lint: allow(wall-clock)
+    fn()
+    return time.perf_counter() - started  # repro-lint: allow(D101)

@@ -1,0 +1,157 @@
+"""N1 — live-runtime loopback benchmarks: the socket path under the stack.
+
+Three quantities for the live runtime added by the `repro.net` subsystem:
+raw codec+socket frame throughput (UDP loopback, no protocol above),
+client-observed request latency on a live 3-node VoD cluster (time from
+sending a context update to the first response reflecting it), and
+failover takeover time when the primary is killed mid-stream.
+
+Unlike the simulation benchmarks these consume real wall seconds — the
+live runtime paces the simulator one second per second — so the runs are
+kept short.  Results persist to ``BENCH_net_loopback.json``.
+"""
+
+import asyncio
+import os
+
+from repro.net.cluster import (
+    LiveClusterOptions,
+    build_live_cluster,
+    build_report,
+    schedule_workload,
+)
+from repro.net.codec import WireEnvelope, encode_frame
+from repro.net.transport import UdpLoopbackTransport
+
+
+def _percentile(values: list, fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+# ---------------------------------------------------------------------------
+# raw frame throughput (codec + UDP loopback, no protocol)
+# ---------------------------------------------------------------------------
+async def _pump_frames(n_frames: int) -> dict:
+    sender, receiver = UdpLoopbackTransport("tx"), UdpLoopbackTransport("rx")
+    got = []
+    receiver.on_frame = got.append
+    await sender.start()
+    await receiver.start()
+    sender.set_peer("rx", *receiver.address)
+    frame = encode_frame(
+        WireEnvelope(
+            sender="tx",
+            receiver="rx",
+            kind="bench",
+            size=1,
+            payload={"op": "rate", "value": 30.0},
+        )
+    )
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    for i in range(n_frames):
+        sender.send("rx", frame)
+        # flow control: cap the frames in flight so the kernel's UDP
+        # receive buffer never overflows (we measure the path, not drops)
+        while i + 1 - len(got) > 128:
+            await asyncio.sleep(0)
+    deadline = loop.time() + 30.0
+    while len(got) < n_frames and loop.time() < deadline:
+        await asyncio.sleep(0)
+    elapsed = loop.time() - started
+    await sender.close()
+    await receiver.close()
+    return {
+        "frames_offered": n_frames,
+        "frames_delivered": len(got),
+        "frame_bytes": len(frame),
+        "wall_seconds": round(elapsed, 4),
+        "frames_per_second": round(len(got) / elapsed, 1),
+    }
+
+
+def test_raw_frame_throughput(benchmark, bench_persist):
+    n_frames = 5_000 if os.environ.get("REPRO_BENCH_FULL") != "1" else 50_000
+
+    def once():
+        return asyncio.run(_pump_frames(n_frames))
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    bench_persist("net_loopback", {"raw_frame_throughput": result})
+    print(
+        f"\nloopback UDP: {result['frames_delivered']}/{result['frames_offered']} "
+        f"frames of {result['frame_bytes']}B in {result['wall_seconds']}s "
+        f"({result['frames_per_second']:.0f} frames/s)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# live cluster: request latency + failover takeover
+# ---------------------------------------------------------------------------
+async def _cluster_run(options: LiveClusterOptions) -> dict:
+    cluster = await build_live_cluster(options)
+    try:
+        plan = schedule_workload(cluster, options)
+        await cluster.runtime.run(plan.duration)
+        report = build_report(cluster, plan)
+        handle = plan.handle
+        latencies = []
+        if handle is not None:
+            # latency of update k: send time -> first response whose
+            # context reflects it (live mode: sim time IS wall time)
+            responses = sorted(handle.received, key=lambda r: r.time)
+            for sent_time, counter, _update in handle.updates_sent:
+                for response in responses:
+                    if response.time >= sent_time and response.based_on_update >= counter:
+                        latencies.append(response.time - sent_time)
+                        break
+        report["request_latencies"] = latencies
+        return report
+    finally:
+        await cluster.close()
+
+
+def test_live_cluster_latency_and_failover(benchmark, bench_persist):
+    requests = 100 if os.environ.get("REPRO_BENCH_FULL") != "1" else 400
+    options = LiveClusterOptions(
+        nodes=3,
+        loopback=True,
+        requests=requests,
+        kill_primary=True,
+        update_interval=0.02,
+        settle=1.5,
+    )
+
+    def once():
+        return asyncio.run(_cluster_run(options))
+
+    report = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert report["clean"], report["reasons"]
+    latencies = report["request_latencies"]
+    assert latencies, "no update was ever reflected in a response"
+    transports = report["transport"].values()
+    total_frames = sum(t["frames_sent"] for t in transports)
+    result = {
+        "nodes": 3,
+        "requests": requests,
+        "update_interval": options.update_interval,
+        "request_latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 2),
+        "request_latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 2),
+        "takeover_seconds": report["takeover_seconds"],
+        "messages_per_second": round(total_frames / report["sim_seconds"], 1),
+        "lost_acked_updates": report["session"]["lost_acked_updates"],
+        "byte_calibration_actual_over_estimate": round(
+            report["bytes"]["actual_over_estimate"], 3
+        ),
+    }
+    bench_persist("net_loopback", {"live_cluster": result})
+    print(
+        f"\nlive 3-node VoD over UDP loopback: request latency "
+        f"p50={result['request_latency_p50_ms']}ms "
+        f"p99={result['request_latency_p99_ms']}ms, "
+        f"failover takeover {result['takeover_seconds']}s, "
+        f"{result['messages_per_second']:.0f} msgs/s on the wire, "
+        f"{result['lost_acked_updates']} acked updates lost"
+    )

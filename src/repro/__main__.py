@@ -10,6 +10,9 @@
     python -m repro chaos --replay chaos-artifacts/chaos-1-3.json
     python -m repro lint src/              # determinism & hygiene lint
     python -m repro lint --list-rules
+    python -m repro cluster --nodes 3 --loopback --requests 200 --kill-primary
+    python -m repro serve --node-id s0 --listen 127.0.0.1:9000 \\
+        --peer s1=127.0.0.1:9001 --peer s2=127.0.0.1:9002
 """
 
 from __future__ import annotations
@@ -147,6 +150,70 @@ def _cmd_lint(args) -> int:
     return run(args)
 
 
+def _cmd_cluster(args) -> int:
+    """Run a live in-process cluster over real sockets and audit it
+    (exit 0 = clean session audit)."""
+    import json
+
+    from repro.net.cluster import LiveClusterOptions, run_live_cluster
+
+    options = LiveClusterOptions(
+        nodes=args.nodes,
+        loopback=args.loopback,
+        requests=args.requests,
+        kill_primary=args.kill_primary,
+        update_interval=args.update_interval,
+        settle=args.settle,
+    )
+    report = run_live_cluster(options)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.audit_json:
+        from pathlib import Path
+
+        Path(args.audit_json).write_text(text + "\n")
+    return 0 if report.get("clean") else 1
+
+
+def _parse_hostport(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    return host, int(port)
+
+
+def _cmd_serve(args) -> int:
+    """Run one live server node over the TCP mesh (exit 0 = the final
+    view has the expected member count, when one was given)."""
+    import json
+
+    from repro.net.cluster import ServeOptions, run_single_node
+
+    peers: dict[str, tuple[str, int]] = {}
+    for spec in args.peer or []:
+        name, _, addr = spec.partition("=")
+        if not name or not addr:
+            print(f"bad --peer {spec!r}: expected NAME=HOST:PORT", file=sys.stderr)
+            return 2
+        peers[name] = _parse_hostport(addr)
+    status = run_single_node(
+        ServeOptions(
+            node_id=args.node_id,
+            listen=_parse_hostport(args.listen),
+            peers=peers,
+            unit=args.unit,
+            duration=args.duration,
+            expect_members=args.expect_members,
+        )
+    )
+    print(json.dumps(status, indent=2, sort_keys=True))
+    if args.expect_members is not None:
+        return 0 if len(status["members"]) == args.expect_members else 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -222,6 +289,54 @@ def main(argv: list[str] | None = None) -> int:
         help="re-run a repro artifact instead of exploring",
     )
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="live in-process cluster over real sockets with a scripted "
+        "VoD workload (exit 0 = clean session audit)",
+    )
+    cluster.add_argument("--nodes", type=int, default=3)
+    cluster.add_argument(
+        "--loopback",
+        action="store_true",
+        help="UDP loopback transport (default is the TCP mesh)",
+    )
+    cluster.add_argument("--requests", type=int, default=200)
+    cluster.add_argument(
+        "--kill-primary",
+        action="store_true",
+        help="crash the session's primary mid-run and restart it later",
+    )
+    cluster.add_argument("--update-interval", type=float, default=0.02)
+    cluster.add_argument("--settle", type=float, default=2.0)
+    cluster.add_argument(
+        "--audit-json",
+        metavar="FILE",
+        default=None,
+        help="also write the audit report to FILE",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="one live server node over the TCP mesh "
+        "(for multi-process deployments)",
+    )
+    serve.add_argument("--node-id", required=True)
+    serve.add_argument("--listen", required=True, metavar="HOST:PORT")
+    serve.add_argument(
+        "--peer",
+        action="append",
+        metavar="NAME=HOST:PORT",
+        help="another node of the mesh (repeatable)",
+    )
+    serve.add_argument("--unit", default="demo")
+    serve.add_argument("--duration", type=float, default=10.0)
+    serve.add_argument(
+        "--expect-members",
+        type=int,
+        default=None,
+        help="exit non-zero unless the final view has this many members",
+    )
+
     from repro.lint.cli import build_parser as build_lint_parser
 
     lint = sub.add_parser(
@@ -244,6 +359,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_policy(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2  # pragma: no cover
 
 

@@ -683,7 +683,8 @@ class FrameworkServer:
         size = message.size_estimate
         self.daemon.mcast(content_group(runtime.unit_id), message, size=size)
         self.counters["propagations_sent"] += 1
-        self.counters["propagation_bytes_sent"] += size
+        self.counters["propagation_bytes_est_sent"] += size
+        self.counters["propagation_bytes_sent"] += self._wire_size(message, size)
 
     def _on_propagate(self, message: Propagate) -> None:
         db = self.unit_dbs.get(message.unit_id)
@@ -704,7 +705,20 @@ class FrameworkServer:
         if message.session_id in self.backups:
             self.backups[message.session_id].rebase(snapshot)
         self.counters["propagations_processed"] += 1
-        self.counters["propagation_bytes_processed"] += message.size_estimate
+        estimate = message.size_estimate
+        self.counters["propagation_bytes_est_processed"] += estimate
+        self.counters["propagation_bytes_processed"] += self._wire_size(
+            message, estimate
+        )
+
+    def _wire_size(self, message: Propagate, estimate: int) -> int:
+        """Actual encoded byte size when the network can measure it (live
+        runtime), the abstract estimate otherwise (simulation — where both
+        counter families therefore stay equal)."""
+        measure = getattr(self.daemon.network, "measure_frame", None)
+        if measure is None:
+            return estimate
+        return int(measure(message))
 
     # ------------------------------------------------------------------
     # session teardown

@@ -53,7 +53,11 @@ class GcsDaemon(Process):
 
     Args:
         node_id: this daemon's address.
-        network: the simulated network.
+        network: the transport injection point — a simulated
+            :class:`~repro.sim.network.Network` in experiments, or a
+            :class:`repro.net.runtime.LiveNetwork` (same interface, real
+            sockets underneath) in live deployments.  The daemon never
+            learns which one it got.
         world: all daemon ids that may ever exist (heartbeat targets; the
             paper likewise assumes a-priori knowledge of the service).
         app: optional :class:`~repro.gcs.endpoint.GcsApplication` receiving

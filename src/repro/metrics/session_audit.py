@@ -88,6 +88,27 @@ def audit_session(
     )
 
 
+def _best_reflected_counter(cluster, session_id: str) -> int:
+    """Freshest context-update counter any live server still holds for the
+    session (primary runtime, backup replica, or unit-DB record); -1 when
+    no trace of the session survives anywhere."""
+    best = -1
+    for server in cluster.servers.values():
+        if not server.is_up():
+            continue
+        runtime = server.primaries.get(session_id)
+        if runtime is not None:
+            best = max(best, runtime.ctx.update_counter)
+        backup = server.backups.get(session_id)
+        if backup is not None:
+            best = max(best, backup.effective_update_counter)
+        for db in server.unit_dbs.values():
+            record = db.get(session_id)
+            if record is not None:
+                best = max(best, record.snapshot.update_counter)
+    return best
+
+
 def lost_updates(cluster, handle: SessionHandle) -> int:
     """Updates the client sent that no live primary's context reflects.
 
@@ -97,23 +118,62 @@ def lost_updates(cluster, handle: SessionHandle) -> int:
     session has no live primary the whole tail is at risk; we report the
     gap against the freshest surviving record (unit DB / backups).
     """
-    best = -1
-    for server in cluster.servers.values():
-        if not server.is_up():
-            continue
-        runtime = server.primaries.get(handle.session_id)
-        if runtime is not None:
-            best = max(best, runtime.ctx.update_counter)
-        backup = server.backups.get(handle.session_id)
-        if backup is not None:
-            best = max(best, backup.effective_update_counter)
-        for db in server.unit_dbs.values():
-            record = db.get(handle.session_id)
-            if record is not None:
-                best = max(best, record.snapshot.update_counter)
+    best = _best_reflected_counter(cluster, handle.session_id)
     if best < 0:
         return handle.update_counter  # everything is gone
     return max(0, handle.update_counter - best)
+
+
+def lost_acked_updates(cluster, handle: SessionHandle) -> int:
+    """Acknowledged updates that no surviving server reflects.
+
+    The strict durability bar for live failover runs: an update whose
+    send the GCS layer acknowledged must survive the primary's crash.
+    Counters the client itself saw fail (and reported to the caller) are
+    excluded — they were never promised.
+    """
+    best = _best_reflected_counter(cluster, handle.session_id)
+    failed = set(handle.failed_update_counters)
+    return sum(
+        1
+        for counter in range(1, handle.update_counter + 1)
+        if counter > best and counter not in failed
+    )
+
+
+def propagation_byte_calibration(cluster) -> dict:
+    """Estimate-vs-actual byte accounting across the cluster's servers.
+
+    In simulation both counter families advance by ``size_estimate`` and
+    the ratio is 1.0; in live mode the ``propagation_bytes_*`` counters
+    carry actual encoded frame sizes, so the ratio calibrates the
+    abstract cost model against the real codec.
+    """
+    actual_sent = sum(
+        server.counters["propagation_bytes_sent"]
+        for server in cluster.servers.values()
+    )
+    est_sent = sum(
+        server.counters["propagation_bytes_est_sent"]
+        for server in cluster.servers.values()
+    )
+    actual_processed = sum(
+        server.counters["propagation_bytes_processed"]
+        for server in cluster.servers.values()
+    )
+    est_processed = sum(
+        server.counters["propagation_bytes_est_processed"]
+        for server in cluster.servers.values()
+    )
+    actual = actual_sent + actual_processed
+    estimated = est_sent + est_processed
+    return {
+        "actual_bytes_sent": actual_sent,
+        "estimated_bytes_sent": est_sent,
+        "actual_bytes_processed": actual_processed,
+        "estimated_bytes_processed": est_processed,
+        "actual_over_estimate": (actual / estimated) if estimated else None,
+    }
 
 
 def service_gaps(
@@ -240,7 +300,9 @@ def no_primary_time(
 __all__ = [
     "SessionAuditReport",
     "audit_session",
+    "lost_acked_updates",
     "lost_updates",
+    "propagation_byte_calibration",
     "max_concurrent_senders",
     "multi_primary_time",
     "no_primary_time",

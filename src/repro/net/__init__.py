@@ -1,0 +1,47 @@
+"""Live runtime: the framework's protocol stack over real asyncio sockets.
+
+The simulator and the live runtime share every protocol module byte for
+byte — ``repro.net`` only supplies what a real deployment needs below
+them:
+
+* :mod:`repro.net.codec` — a self-describing binary codec for every
+  frozen wire dataclass (length-prefixed framing, version byte, strict
+  rejection of unknown types and truncated frames);
+* :mod:`repro.net.transport` — a TCP mesh between daemons plus a UDP
+  loopback mode, with per-peer bounded queues, capped-backoff reconnect
+  and oldest-drop backpressure counters;
+* :mod:`repro.net.runtime` — a :class:`~repro.sim.network.Network`
+  subclass that routes remote traffic through a transport and a pacer
+  that runs the deterministic simulator against the wall clock, so
+  ``send``/``multicast``/``set_timer`` keep their exact sim semantics;
+* :mod:`repro.net.cluster` — the in-process live cluster the
+  ``python -m repro cluster`` CLI drives (scripted VoD workload,
+  kill/restart mid-run, session-audit report).
+"""
+
+from repro.net.codec import (
+    CodecError,
+    FrameDecoder,
+    TruncatedFrameError,
+    UnknownTypeError,
+    WireEnvelope,
+    decode_frame,
+    encode_frame,
+    frame_size,
+    registered_types,
+)
+from repro.net.runtime import LiveNetwork, LiveRuntime
+
+__all__ = [
+    "CodecError",
+    "FrameDecoder",
+    "LiveNetwork",
+    "LiveRuntime",
+    "TruncatedFrameError",
+    "UnknownTypeError",
+    "WireEnvelope",
+    "decode_frame",
+    "encode_frame",
+    "frame_size",
+    "registered_types",
+]

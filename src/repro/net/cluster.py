@@ -1,0 +1,437 @@
+"""In-process live clusters and the scripted VoD workload.
+
+``python -m repro cluster`` builds one :class:`LiveCluster`: every server
+(and the client) owns its own socket and its own
+:class:`~repro.net.runtime.LiveNetwork`, all paced by one shared
+simulator running in lock-step with the wall clock — so every message
+between nodes crosses a real socket through the binary codec, while the
+protocol modules execute unchanged.
+
+The workload is scripted as simulator events (deterministic given the
+socket timings): connect, start a VoD session, stream a batch of context
+updates, optionally kill the current primary mid-run and restart it
+later, then quiesce and audit.  The audit report is the same
+:mod:`repro.metrics.session_audit` machinery the experiments use, plus
+the live-only extras: actual-vs-estimated byte calibration and transport
+counters.
+
+``python -m repro serve`` runs one server node over the TCP mesh for
+multi-OS-process deployments; peers are named on the command line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.client import ServiceClient, SessionHandle
+from repro.core.config import AvailabilityPolicy
+from repro.core.server import FrameworkServer
+from repro.core.wire import content_group
+from repro.gcs.settings import GcsSettings
+from repro.gcs.spec import SpecMonitor
+from repro.metrics.session_audit import (
+    audit_session,
+    lost_acked_updates,
+    lost_updates,
+    multi_primary_time,
+    propagation_byte_calibration,
+)
+from repro.net.runtime import LiveNetwork, LiveRuntime
+from repro.net.transport import MeshTransport, TcpMeshTransport, UdpLoopbackTransport
+from repro.services.content import build_movie
+from repro.services.vod import VodApplication
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+
+
+@dataclass(slots=True)
+class LiveClusterOptions:
+    """Shape of one scripted live run."""
+
+    nodes: int = 3
+    loopback: bool = True
+    requests: int = 200
+    kill_primary: bool = False
+    restart: bool = True
+    update_interval: float = 0.02
+    unit: str = "demo"
+    warmup: float = 1.8
+    settle: float = 2.0
+    max_tick: float = 0.05
+    num_backups: int = 1
+
+
+@dataclass(slots=True)
+class WorkloadPlan:
+    """What the script decided and observed (filled in as events fire)."""
+
+    duration: float = 0.0
+    updates_from: float = 0.0
+    handle: SessionHandle | None = None
+    killed: str | None = None
+    kill_time: float | None = None
+    restart_time: float | None = None
+
+
+class LiveCluster:
+    """A live deployment: real sockets below, unchanged protocol above.
+
+    Mirrors the :class:`~repro.core.service.ServiceCluster` query surface
+    (``servers``, ``sim``, ``trace_log()``, ``primaries_of()``) so the
+    session-audit metrics run on it verbatim.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        runtime: LiveRuntime,
+        trace: TraceLog,
+        monitor: SpecMonitor,
+        transports: dict[str, MeshTransport],
+        networks: dict[str, LiveNetwork],
+        servers: dict[str, FrameworkServer],
+        client: ServiceClient,
+    ) -> None:
+        self.sim = sim
+        self.runtime = runtime
+        self.trace = trace
+        self.monitor = monitor
+        self.transports = transports
+        self.networks = networks
+        self.servers = servers
+        self.client = client
+
+    def trace_log(self) -> TraceLog:
+        return self.trace
+
+    def primaries_of(self, session_id: str) -> list[str]:
+        return [
+            server_id
+            for server_id, server in self.servers.items()
+            if server.is_up() and session_id in server.primary_sessions()
+        ]
+
+    async def close(self) -> None:
+        for transport in self.transports.values():
+            await transport.close()
+
+
+async def build_live_cluster(options: LiveClusterOptions) -> LiveCluster:
+    """Bind one socket per node, wire the full-mesh address book, and
+    start the servers and client (protocol timers arm at sim t=0; nothing
+    runs until the pacer does)."""
+    if options.nodes < 1:
+        raise ValueError("a cluster needs at least one node")
+    sim = Simulator()
+    trace = TraceLog(enabled=True)
+    monitor = SpecMonitor()
+    runtime = LiveRuntime(sim, max_tick=options.max_tick)
+
+    server_ids = [f"s{i}" for i in range(options.nodes)]
+    client_id = "c0"
+    transports: dict[str, MeshTransport] = {}
+    networks: dict[str, LiveNetwork] = {}
+    for node in [*server_ids, client_id]:
+        transport: MeshTransport = (
+            UdpLoopbackTransport(node) if options.loopback else TcpMeshTransport(node)
+        )
+        await transport.start("127.0.0.1", 0)
+        transports[node] = transport
+        networks[node] = LiveNetwork(sim, transport, trace=trace, wake=runtime.wake)
+    for node, transport in transports.items():
+        for peer, peer_transport in transports.items():
+            if peer != node:
+                host, port = peer_transport.address
+                transport.set_peer(peer, host, port)
+
+    # a movie long enough that the stream cannot finish mid-run
+    run_seconds = (
+        options.warmup + 0.7 + options.requests * options.update_interval
+        + options.settle + 10.0
+    )
+    movie = build_movie(
+        options.unit, duration_seconds=int(run_seconds * 2) + 60, frame_rate=24
+    )
+    application = VodApplication({options.unit: movie})
+    catalog = {options.unit: content_group(options.unit)}
+    policy = AvailabilityPolicy(num_backups=options.num_backups)
+    settings = GcsSettings()
+
+    servers: dict[str, FrameworkServer] = {}
+    for server_id in server_ids:
+        servers[server_id] = FrameworkServer(
+            server_id=server_id,
+            network=networks[server_id],
+            world=server_ids,
+            hosted_units=[options.unit],
+            applications={options.unit: application},
+            catalog=catalog,
+            policy=policy,
+            settings=settings,
+            monitor=monitor,
+        )
+    client = ServiceClient(
+        client_id,
+        networks[client_id],
+        contact_servers=server_ids,
+        settings=settings,
+    )
+    for server in servers.values():
+        server.start()
+    client.start()
+    return LiveCluster(
+        sim=sim,
+        runtime=runtime,
+        trace=trace,
+        monitor=monitor,
+        transports=transports,
+        networks=networks,
+        servers=servers,
+        client=client,
+    )
+
+
+def schedule_workload(cluster: LiveCluster, options: LiveClusterOptions) -> WorkloadPlan:
+    """Script the whole run as simulator events before the pacer starts."""
+    sim = cluster.sim
+    client = cluster.client
+    plan = WorkloadPlan()
+
+    def do_connect() -> None:
+        client.connect()
+
+    def do_start() -> None:
+        plan.handle = client.start_session(options.unit)
+
+    sim.schedule_at(min(1.0, options.warmup / 2), do_connect, label="wl:connect")
+    sim.schedule_at(options.warmup, do_start, label="wl:start-session")
+
+    updates_from = options.warmup + 0.7
+    plan.updates_from = updates_from
+    interval = options.update_interval
+
+    def send_update(index: int) -> None:
+        if plan.handle is None or not plan.handle.started:
+            # the session confirmation has not landed yet; skip rather
+            # than queue updates the audit would call lost
+            return
+        client.send_update(
+            plan.handle, {"op": "rate", "value": 24.0 + float(index % 2)}
+        )
+
+    for i in range(options.requests):
+        sim.schedule_at(
+            updates_from + i * interval,
+            (lambda index=i: send_update(index)),
+            label="wl:update",
+        )
+
+    updates_until = updates_from + options.requests * interval
+    end = updates_until + options.settle
+
+    if options.kill_primary:
+        kill_at = updates_from + 0.45 * options.requests * interval
+
+        def do_kill() -> None:
+            if plan.handle is None:
+                return
+            primaries = cluster.primaries_of(plan.handle.session_id)
+            if not primaries:
+                return
+            plan.killed = primaries[0]
+            plan.kill_time = sim.now
+            cluster.servers[primaries[0]].crash()
+
+        sim.schedule_at(kill_at, do_kill, label="wl:kill-primary")
+        restart_at = kill_at + max(1.5, 0.3 * options.requests * interval)
+        if options.restart:
+
+            def do_restart() -> None:
+                if plan.killed is not None:
+                    plan.restart_time = sim.now
+                    cluster.servers[plan.killed].recover()
+
+            sim.schedule_at(restart_at, do_restart, label="wl:restart")
+            end = max(end, restart_at + 1.5)
+        end = max(end, kill_at + 3.0)
+
+    plan.duration = end + 0.5
+    return plan
+
+
+def build_report(cluster: LiveCluster, plan: WorkloadPlan) -> dict[str, Any]:
+    """Audit the finished run; ``clean`` summarizes the CI gate."""
+    handle = plan.handle
+    reasons: list[str] = []
+    report: dict[str, Any] = {
+        "mode": "live",
+        "sim_seconds": round(cluster.sim.now, 3),
+        "servers": sorted(cluster.servers),
+        "killed": plan.killed,
+        "kill_time": plan.kill_time,
+        "restart_time": plan.restart_time,
+    }
+    if handle is None:
+        report["clean"] = False
+        report["reasons"] = ["workload never started a session"]
+        return report
+
+    audit = audit_session(handle)
+    lost = lost_updates(cluster, handle)
+    lost_acked = lost_acked_updates(cluster, handle)
+    report["session"] = {
+        "session_id": audit.session_id,
+        "started": handle.started,
+        "denied_reason": handle.denied_reason,
+        "updates_sent": audit.updates_sent,
+        "responses_received": audit.responses_received,
+        "distinct_indices": audit.distinct_indices,
+        "duplicate_count": audit.duplicate_count,
+        "stale_count": audit.stale_count,
+        "uncertain_resends": audit.uncertain_resends,
+        "max_gap": round(audit.max_gap, 3),
+        "failed_sends": handle.failed_sends,
+        "unacked_sends": cluster.client.gcs.unacked_count,
+        "lost_updates": lost,
+        "lost_acked_updates": lost_acked,
+    }
+    report["multi_primary_time"] = round(
+        multi_primary_time(cluster, handle.session_id), 4
+    )
+    report["bytes"] = propagation_byte_calibration(cluster)
+    report["transport"] = {
+        node: {
+            "frames_sent": transport.stats.frames_sent,
+            "frames_received": transport.stats.frames_received,
+            "bytes_sent": transport.stats.bytes_sent,
+            "bytes_received": transport.stats.bytes_received,
+            "dropped_oldest": transport.stats.dropped_oldest,
+            "dropped_oversize": transport.stats.dropped_oversize,
+            "reconnects": transport.stats.reconnects,
+        }
+        for node, transport in sorted(cluster.transports.items())
+    }
+    report["frames_rejected"] = sum(
+        network.frames_rejected for network in cluster.networks.values()
+    )
+    if plan.killed is not None and plan.kill_time is not None:
+        takeover: float | None = None
+        for response in handle.received:
+            if response.time > plan.kill_time and response.sender != plan.killed:
+                takeover = response.time - plan.kill_time
+                break
+        report["takeover_seconds"] = (
+            round(takeover, 3) if takeover is not None else None
+        )
+        if takeover is None:
+            reasons.append("no post-failover responses")
+
+    if not handle.started:
+        reasons.append("session never started")
+    if handle.denied_reason is not None:
+        reasons.append(f"session denied: {handle.denied_reason}")
+    if audit.responses_received == 0:
+        reasons.append("no responses received")
+    if handle.failed_sends > 0:
+        reasons.append(f"{handle.failed_sends} client sends failed")
+    if cluster.client.gcs.unacked_count > 0:
+        reasons.append(f"{cluster.client.gcs.unacked_count} sends never acked")
+    if lost_acked > 0:
+        reasons.append(f"{lost_acked} acknowledged updates lost")
+    if report["multi_primary_time"] > 0:
+        reasons.append("overlapping primaries observed")
+    if report["frames_rejected"] > 0:
+        reasons.append(f"{report['frames_rejected']} frames rejected by the codec")
+    report["clean"] = not reasons
+    report["reasons"] = reasons
+    return report
+
+
+async def _run_cluster(options: LiveClusterOptions) -> dict[str, Any]:
+    cluster = await build_live_cluster(options)
+    try:
+        plan = schedule_workload(cluster, options)
+        await cluster.runtime.run(plan.duration)
+        return build_report(cluster, plan)
+    finally:
+        await cluster.close()
+
+
+def run_live_cluster(options: LiveClusterOptions) -> dict[str, Any]:
+    """Blocking entry point used by ``python -m repro cluster`` and tests."""
+    return asyncio.run(_run_cluster(options))
+
+
+# ---------------------------------------------------------------------------
+# single-node daemon (`python -m repro serve`)
+# ---------------------------------------------------------------------------
+@dataclass(slots=True)
+class ServeOptions:
+    """One server node of a multi-process TCP deployment."""
+
+    node_id: str
+    listen: tuple[str, int]
+    peers: dict[str, tuple[str, int]] = field(default_factory=dict)
+    unit: str = "demo"
+    duration: float = 10.0
+    expect_members: int | None = None
+    max_tick: float = 0.05
+
+
+async def _serve(options: ServeOptions) -> dict[str, Any]:
+    sim = Simulator()
+    trace = TraceLog(enabled=False)
+    runtime = LiveRuntime(sim, max_tick=options.max_tick)
+    transport = TcpMeshTransport(options.node_id)
+    await transport.start(*options.listen)
+    network = LiveNetwork(sim, transport, trace=trace, wake=runtime.wake)
+    for peer, (host, port) in options.peers.items():
+        transport.set_peer(peer, host, port)
+    world = sorted([options.node_id, *options.peers])
+    movie = build_movie(
+        options.unit, duration_seconds=int(options.duration * 2) + 60, frame_rate=24
+    )
+    server = FrameworkServer(
+        server_id=options.node_id,
+        network=network,
+        world=world,
+        hosted_units=[options.unit],
+        applications={options.unit: VodApplication({options.unit: movie})},
+        catalog={options.unit: content_group(options.unit)},
+        policy=AvailabilityPolicy(num_backups=1),
+        settings=GcsSettings(),
+        monitor=None,
+    )
+    server.start()
+    try:
+        await runtime.run(options.duration)
+    finally:
+        await transport.close()
+    members = sorted(str(member) for member in server.daemon.config.members)
+    return {
+        "node": options.node_id,
+        "members": members,
+        "view": str(server.daemon.config.view_id),
+        "frames_sent": transport.stats.frames_sent,
+        "frames_received": transport.stats.frames_received,
+    }
+
+
+def run_single_node(options: ServeOptions) -> dict[str, Any]:
+    """Blocking entry point used by ``python -m repro serve``."""
+    return asyncio.run(_serve(options))
+
+
+__all__ = [
+    "LiveCluster",
+    "LiveClusterOptions",
+    "ServeOptions",
+    "WorkloadPlan",
+    "build_live_cluster",
+    "build_report",
+    "run_live_cluster",
+    "run_single_node",
+    "schedule_workload",
+]

@@ -1,0 +1,471 @@
+"""Self-describing binary codec for the live runtime.
+
+Frame layout::
+
+    +----------------+----------+------------------------+
+    | length (u32 BE)| version  | encoded value          |
+    +----------------+----------+------------------------+
+
+``length`` counts everything after the prefix (version byte included),
+so a TCP byte stream splits into frames without decoding anything.  The
+version byte guards against mixed deployments: a frame whose version
+differs from :data:`WIRE_VERSION` is rejected whole.
+
+Values are tagged recursively: primitives, containers, and *registered
+dataclasses*.  A dataclass crossing the wire must be registered with
+:func:`register`; its type id is its position in the registration
+sequence at the bottom of this module, which makes the id assignment
+deterministic in every process — the registration order IS the wire
+contract (append only, never reorder).  The lint rule P205 fails the
+build when a wire message class in ``gcs/messages.py`` / ``core/wire.py``
+has no ``register(...)`` call here, so a new message cannot silently
+break live mode.
+
+Everything rejects loudly: unknown type ids and unregistered classes
+raise :class:`UnknownTypeError`, short or oversized frames raise
+:class:`TruncatedFrameError`, and trailing garbage inside a frame is a
+:class:`CodecError`.  The decoder never guesses.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any
+
+WIRE_VERSION = 1
+
+#: Upper bound on one frame's body (a propagation snapshot of a pathological
+#: session state should still fit; anything larger is a protocol bug).
+MAX_FRAME = 8 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+_U16 = struct.Struct(">H")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+class CodecError(ValueError):
+    """Malformed or un-encodable wire data."""
+
+
+class UnknownTypeError(CodecError):
+    """An unregistered dataclass (encode) or unknown type id (decode)."""
+
+
+class TruncatedFrameError(CodecError):
+    """A frame shorter (or longer) than its length prefix promises."""
+
+
+# ---------------------------------------------------------------------------
+# value tags
+# ---------------------------------------------------------------------------
+_T_NONE = 0
+_T_TRUE = 1
+_T_FALSE = 2
+_T_INT = 3
+_T_BIGINT = 4
+_T_FLOAT = 5
+_T_STR = 6
+_T_BYTES = 7
+_T_LIST = 8
+_T_TUPLE = 9
+_T_DICT = 10
+_T_SET = 11
+_T_FROZENSET = 12
+_T_DATACLASS = 13
+
+
+# ---------------------------------------------------------------------------
+# dataclass registry
+# ---------------------------------------------------------------------------
+_TYPE_IDS: dict[type, int] = {}
+_TYPES: list[type] = []
+
+
+def register(cls: type) -> type:
+    """Assign ``cls`` the next wire type id.
+
+    Ids are positional, so every process that imports this module agrees
+    on them for free — provided the registration sequence below is only
+    ever appended to.
+    """
+    if not is_dataclass(cls):
+        raise CodecError(f"{cls.__name__} is not a dataclass")
+    if cls in _TYPE_IDS:
+        raise CodecError(f"{cls.__name__} is registered twice")
+    _TYPE_IDS[cls] = len(_TYPES)
+    _TYPES.append(cls)
+    return cls
+
+
+def registered_types() -> tuple[type, ...]:
+    """Every registered dataclass, in wire-id order."""
+    return tuple(_TYPES)
+
+
+# ---------------------------------------------------------------------------
+# the envelope the live network ships (also just a registered dataclass)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class WireEnvelope:
+    """One transported message: addressing metadata plus the payload."""
+
+    sender: Any
+    receiver: Any
+    kind: str
+    size: int
+    payload: Any
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(_T_INT)
+            out += _I64.pack(value)
+        else:
+            raw = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+            out.append(_T_BIGINT)
+            out += _LEN.pack(len(raw))
+            out += raw
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _LEN.pack(len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_T_BYTES)
+        out += _LEN.pack(len(value))
+        out += value
+    elif isinstance(value, list):
+        out.append(_T_LIST)
+        out += _LEN.pack(len(value))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, tuple):
+        out.append(_T_TUPLE)
+        out += _LEN.pack(len(value))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        # insertion order is preserved: protocol dicts are built
+        # deterministically, so both ends see the same byte sequence
+        out.append(_T_DICT)
+        out += _LEN.pack(len(value))
+        for key, item in value.items():
+            _encode(key, out)
+            _encode(item, out)
+    elif isinstance(value, (set, frozenset)):
+        # canonical form: members sorted by their own encoding, so two
+        # equal sets encode identically regardless of iteration order
+        out.append(_T_SET if isinstance(value, set) else _T_FROZENSET)
+        out += _LEN.pack(len(value))
+        encoded: list[bytes] = []
+        for item in value:
+            buf = bytearray()
+            _encode(item, buf)
+            encoded.append(bytes(buf))
+        for raw in sorted(encoded):
+            out += raw
+    elif is_dataclass(value) and not isinstance(value, type):
+        type_id = _TYPE_IDS.get(type(value))
+        if type_id is None:
+            raise UnknownTypeError(
+                f"{type(value).__name__} is not registered with the codec "
+                "(add a register(...) call in repro/net/codec.py)"
+            )
+        spec = fields(value)
+        out.append(_T_DATACLASS)
+        out += _U16.pack(type_id)
+        out.append(len(spec))
+        for f in spec:
+            _encode(getattr(value, f.name), out)
+    else:
+        raise UnknownTypeError(
+            f"cannot encode {type(value).__name__!r} (not a wire type)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+def _need(view: memoryview, offset: int, count: int) -> None:
+    if offset + count > len(view):
+        raise TruncatedFrameError(
+            f"frame ends at byte {len(view)} but value needs {offset + count}"
+        )
+
+
+def _decode(view: memoryview, offset: int) -> tuple[Any, int]:
+    _need(view, offset, 1)
+    tag = view[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        _need(view, offset, 8)
+        return _I64.unpack_from(view, offset)[0], offset + 8
+    if tag == _T_BIGINT:
+        _need(view, offset, 4)
+        (length,) = _LEN.unpack_from(view, offset)
+        offset += 4
+        _need(view, offset, length)
+        raw = bytes(view[offset : offset + length])
+        return int.from_bytes(raw, "big", signed=True), offset + length
+    if tag == _T_FLOAT:
+        _need(view, offset, 8)
+        return _F64.unpack_from(view, offset)[0], offset + 8
+    if tag == _T_STR:
+        _need(view, offset, 4)
+        (length,) = _LEN.unpack_from(view, offset)
+        offset += 4
+        _need(view, offset, length)
+        return str(view[offset : offset + length], "utf-8"), offset + length
+    if tag == _T_BYTES:
+        _need(view, offset, 4)
+        (length,) = _LEN.unpack_from(view, offset)
+        offset += 4
+        _need(view, offset, length)
+        return bytes(view[offset : offset + length]), offset + length
+    if tag in (_T_LIST, _T_TUPLE, _T_SET, _T_FROZENSET):
+        _need(view, offset, 4)
+        (count,) = _LEN.unpack_from(view, offset)
+        offset += 4
+        items: list[Any] = []
+        for _ in range(count):
+            item, offset = _decode(view, offset)
+            items.append(item)
+        if tag == _T_LIST:
+            return items, offset
+        if tag == _T_TUPLE:
+            return tuple(items), offset
+        if tag == _T_SET:
+            return set(items), offset
+        return frozenset(items), offset
+    if tag == _T_DICT:
+        _need(view, offset, 4)
+        (count,) = _LEN.unpack_from(view, offset)
+        offset += 4
+        mapping: dict[Any, Any] = {}
+        for _ in range(count):
+            key, offset = _decode(view, offset)
+            item, offset = _decode(view, offset)
+            mapping[key] = item
+        return mapping, offset
+    if tag == _T_DATACLASS:
+        _need(view, offset, 3)
+        (type_id,) = _U16.unpack_from(view, offset)
+        offset += 2
+        n_fields = view[offset]
+        offset += 1
+        if type_id >= len(_TYPES):
+            raise UnknownTypeError(f"unknown wire type id {type_id}")
+        cls = _TYPES[type_id]
+        spec = fields(cls)
+        if n_fields != len(spec):
+            raise CodecError(
+                f"{cls.__name__} arrived with {n_fields} fields, "
+                f"expected {len(spec)} (incompatible peer build)"
+            )
+        values: list[Any] = []
+        for _ in range(n_fields):
+            value, offset = _decode(view, offset)
+            values.append(value)
+        return cls(*values), offset
+    raise CodecError(f"unknown value tag {tag}")
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+def encode_frame(value: Any) -> bytes:
+    """One complete frame (length prefix + version byte + value)."""
+    body = bytearray()
+    body.append(WIRE_VERSION)
+    _encode(value, body)
+    if len(body) > MAX_FRAME:
+        raise CodecError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME}")
+    return _LEN.pack(len(body)) + bytes(body)
+
+
+def frame_size(value: Any) -> int:
+    """Actual wire cost of ``value`` in bytes (the live byte accounting)."""
+    return len(encode_frame(value))
+
+
+def decode_frame(frame: bytes) -> Any:
+    """Decode exactly one frame; rejects truncation, padding, version skew."""
+    if len(frame) < 5:
+        raise TruncatedFrameError(f"frame of {len(frame)} bytes has no header")
+    (length,) = _LEN.unpack_from(frame, 0)
+    if length > MAX_FRAME:
+        raise CodecError(f"frame length {length} exceeds {MAX_FRAME}")
+    if len(frame) != 4 + length:
+        raise TruncatedFrameError(
+            f"frame promises {length} body bytes but carries {len(frame) - 4}"
+        )
+    if frame[4] != WIRE_VERSION:
+        raise CodecError(
+            f"wire version {frame[4]} != {WIRE_VERSION} (incompatible peer)"
+        )
+    value, end = _decode(memoryview(frame), 5)
+    if end != len(frame):
+        raise CodecError(f"{len(frame) - end} trailing bytes inside frame")
+    return value
+
+
+def split_frames(buffer: bytearray) -> list[bytes]:
+    """Split complete frames off the front of a TCP reassembly buffer.
+
+    ``buffer`` is consumed in place; a trailing partial frame stays for
+    the next read.  Raises :class:`CodecError` on an insane length prefix
+    (the caller should drop the connection — the stream is unframeable).
+    """
+    frames: list[bytes] = []
+    while len(buffer) >= 4:
+        (length,) = _LEN.unpack_from(buffer, 0)
+        if length > MAX_FRAME:
+            raise CodecError(f"frame length {length} exceeds {MAX_FRAME}")
+        if len(buffer) < 4 + length:
+            break
+        frames.append(bytes(buffer[: 4 + length]))
+        del buffer[: 4 + length]
+    return frames
+
+
+class FrameDecoder:
+    """Incremental decoder: feed stream chunks, get decoded values."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[Any]:
+        self._buffer.extend(data)
+        return [decode_frame(frame) for frame in split_frames(self._buffer)]
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+# ---------------------------------------------------------------------------
+# wire type registration — the order below IS the wire contract.
+# Append only; never reorder or remove.  P205 cross-checks this block
+# against the wire vocabulary in gcs/messages.py and core/wire.py.
+# ---------------------------------------------------------------------------
+from repro.core.application import ResponseBody  # noqa: E402
+from repro.core.context import ContextDelta, ContextSnapshot  # noqa: E402
+from repro.core.unit_db import SessionRecord  # noqa: E402
+from repro.core.wire import (  # noqa: E402
+    ContextUpdate,
+    EndSession,
+    Handoff,
+    ListUnitsRequest,
+    Propagate,
+    RebalanceRequest,
+    ResponseMsg,
+    SessionDenied,
+    SessionEnded,
+    SessionStarted,
+    StartSession,
+    StateExchange,
+    UnitList,
+)
+from repro.gcs.messages import (  # noqa: E402
+    AttemptId,
+    ClientAck,
+    ClientMcast,
+    Heartbeat,
+    Install,
+    NackSeqs,
+    OrderRequest,
+    Propose,
+    ProposeNack,
+    PtpData,
+    RequestId,
+    ResyncRequired,
+    Sequenced,
+    SequencedBatch,
+    SyncReply,
+)
+from repro.gcs.view import ViewId  # noqa: E402
+from repro.services.education import EducationSessionState  # noqa: E402
+from repro.services.search import SearchSessionState  # noqa: E402
+from repro.services.vod import VodSessionState  # noqa: E402
+
+register(WireEnvelope)
+# GCS vocabulary (gcs/messages.py + the view id they stamp)
+register(ViewId)
+register(RequestId)
+register(AttemptId)
+register(Heartbeat)
+register(OrderRequest)
+register(Sequenced)
+register(SequencedBatch)
+register(NackSeqs)
+register(ResyncRequired)
+register(Propose)
+register(ProposeNack)
+register(SyncReply)
+register(Install)
+register(ClientMcast)
+register(ClientAck)
+register(PtpData)
+# framework vocabulary (core/wire.py + the context/record types it carries)
+register(ContextSnapshot)
+register(ContextDelta)
+register(SessionRecord)
+register(ResponseBody)
+register(ListUnitsRequest)
+register(UnitList)
+register(StartSession)
+register(SessionStarted)
+register(SessionDenied)
+register(ContextUpdate)
+register(EndSession)
+register(Propagate)
+register(SessionEnded)
+register(RebalanceRequest)
+register(StateExchange)
+register(Handoff)
+register(ResponseMsg)
+# application session states (propagated inside snapshots and deltas)
+register(VodSessionState)
+register(EducationSessionState)
+register(SearchSessionState)
+
+
+__all__ = [
+    "MAX_FRAME",
+    "WIRE_VERSION",
+    "CodecError",
+    "FrameDecoder",
+    "TruncatedFrameError",
+    "UnknownTypeError",
+    "WireEnvelope",
+    "decode_frame",
+    "encode_frame",
+    "frame_size",
+    "register",
+    "registered_types",
+    "split_frames",
+]

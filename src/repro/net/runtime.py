@@ -1,0 +1,201 @@
+"""The runtime adapter: unchanged protocol code over real sockets.
+
+Two pieces make the simulator's process model run live:
+
+* :class:`LiveNetwork` subclasses :class:`repro.sim.network.Network`.
+  Locally attached nodes (normally just the one this network belongs to)
+  are delivered through the parent's scheduling path; every other
+  receiver is wrapped in a :class:`~repro.net.codec.WireEnvelope`,
+  encoded, and handed to a :class:`~repro.net.transport.MeshTransport`.
+  Inbound frames are decoded and re-enter through the parent's
+  ``_deliver`` — so daemons, servers and clients run byte-for-byte the
+  same code as in simulation, including ``send``/``multicast``/
+  ``set_timer`` semantics and all accounting.
+* :class:`LiveRuntime` paces a real :class:`~repro.sim.engine.Simulator`
+  against the asyncio wall clock: ``run_until(elapsed)`` executes every
+  due timer and delivery, then the pacer sleeps until the next protocol
+  deadline (or an inbound frame wakes it).  Simulation time therefore
+  *is* wall time, one second per second — protocol timeouts mean what
+  they say, while every handler still executes inside the deterministic
+  event loop with a consistent ``sim.now``.
+
+What this does **not** give: the single-process loopback cluster cannot
+partition, lose, or reorder — the adversity vocabulary stays with the
+simulator (see DESIGN.md §11).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from repro.net.codec import CodecError, WireEnvelope, decode_frame, encode_frame
+from repro.net.transport import MeshTransport
+from repro.sim.engine import Simulator
+from repro.sim.latency import FixedLatency
+from repro.sim.network import Message, Network
+from repro.sim.topology import NodeId, Topology
+from repro.sim.trace import TraceLog
+
+
+class LiveNetwork(Network):
+    """A per-node :class:`Network` whose remote links are real sockets.
+
+    Every node of a live deployment owns one ``LiveNetwork`` (all of them
+    may share one :class:`Simulator` when colocated in a process): sends
+    to locally attached nodes use the inherited simulated path with zero
+    latency, sends to anyone else cross the transport as encoded frames.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: MeshTransport,
+        trace: TraceLog | None = None,
+        wake: Callable[[], None] | None = None,
+    ) -> None:
+        super().__init__(
+            sim, Topology(), FixedLatency(0.0), trace=trace
+        )
+        self.transport = transport
+        transport.on_frame = self._ingress
+        self._wake = wake if wake is not None else lambda: None
+        self.frames_rejected = 0
+        #: actual encoded bytes per message kind, both directions — the
+        #: calibration source for the abstract ``size`` estimates
+        self.actual_bytes_sent: dict[str, int] = {}
+        self.actual_bytes_received: dict[str, int] = {}
+
+    def set_wake(self, wake: Callable[[], None]) -> None:
+        """Install the pacer's wake callback (set once the runtime exists)."""
+        self._wake = wake
+
+    # ------------------------------------------------------------------
+    # outbound
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        payload: Any,
+        kind: str = "msg",
+        size: int = 1,
+    ) -> Message:
+        if receiver in self._handlers:
+            return super().send(sender, receiver, payload, kind=kind, size=size)
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            kind=kind,
+            size=size,
+            send_time=self.sim.now,
+            msg_id=next(self._msg_ids),
+        )
+        # mirror the parent's sender-side accounting so higher layers
+        # (heartbeat piggybacking, E2 load metrics) see one coherent view
+        self.total_sent += 1
+        self._last_send[(sender, receiver)] = self.sim.now
+        sent_stats = self._stats_sent[sender][kind]
+        sent_stats.sent += 1
+        sent_stats.bytes_sent += size
+        frame = encode_frame(
+            WireEnvelope(
+                sender=sender, receiver=receiver, kind=kind, size=size, payload=payload
+            )
+        )
+        self.actual_bytes_sent[kind] = self.actual_bytes_sent.get(kind, 0) + len(frame)
+        self.transport.send(receiver, frame)
+        return message
+
+    def measure_frame(self, payload: Any) -> int:
+        """Actual encoded byte size of ``payload`` on this wire.
+
+        The framework's byte accounting calls this (when present) instead
+        of trusting ``size_estimate``."""
+        return len(encode_frame(payload))
+
+    # ------------------------------------------------------------------
+    # inbound
+    # ------------------------------------------------------------------
+    def _ingress(self, data: bytes) -> None:
+        """One raw frame off the socket: decode, schedule, wake the pacer."""
+        try:
+            envelope = decode_frame(data)
+        except CodecError:
+            self.frames_rejected += 1
+            self.trace.record(self.sim.now, "net", "live.frame_rejected", bytes=len(data))
+            return
+        if not isinstance(envelope, WireEnvelope):
+            self.frames_rejected += 1
+            self.trace.record(
+                self.sim.now,
+                "net",
+                "live.frame_rejected",
+                type=type(envelope).__name__,
+            )
+            return
+        kind = envelope.kind
+        self.actual_bytes_received[kind] = self.actual_bytes_received.get(
+            kind, 0
+        ) + len(data)
+        message = Message(
+            sender=envelope.sender,
+            receiver=envelope.receiver,
+            payload=envelope.payload,
+            kind=kind,
+            size=envelope.size,
+            send_time=self.sim.now,
+            msg_id=next(self._msg_ids),
+        )
+        # deliver inside the paced event loop so handlers always run with
+        # a consistent sim.now (the unknown remote sender is "connected"
+        # by the topology's default-component rule)
+        self.sim.schedule(0.0, lambda: self._deliver(message), label=f"live:{kind}")
+        self._wake()
+
+
+class LiveRuntime:
+    """Paces one :class:`Simulator` against the asyncio wall clock."""
+
+    def __init__(self, sim: Simulator, max_tick: float = 0.05) -> None:
+        self.sim = sim
+        self.max_tick = max_tick
+        self._wake = asyncio.Event()
+        self._stopped = False
+
+    def wake(self) -> None:
+        """Interrupt the pacer's sleep (an inbound frame was scheduled)."""
+        self._wake.set()
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._wake.set()
+
+    async def run(self, duration: float) -> None:
+        """Advance the simulator in lock-step with the wall clock for
+        ``duration`` seconds (of both)."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        origin = self.sim.now
+        end = origin + duration
+        while not self._stopped:
+            target = min(origin + (loop.time() - started), end)
+            if target > self.sim.now:
+                self.sim.run_until(target)
+            if self.sim.now >= end:
+                break
+            upcoming = self.sim.next_event_time()
+            behind = origin + (loop.time() - started)
+            if upcoming is None:
+                delay = self.max_tick
+            else:
+                delay = min(max(upcoming - behind, 0.0), self.max_tick)
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=delay)
+            except (TimeoutError, asyncio.TimeoutError):
+                pass
+
+
+__all__ = ["LiveNetwork", "LiveRuntime"]

@@ -1,0 +1,322 @@
+"""Asyncio transports for the live runtime.
+
+Two interchangeable transports move opaque frames (produced by
+:mod:`repro.net.codec`) between named nodes:
+
+* :class:`TcpMeshTransport` — one listening socket per node and one
+  outbound connection per peer, created lazily and re-created after
+  failures with capped exponential backoff.  Outbound frames wait in a
+  per-peer bounded queue; when the queue is full the *oldest* frame is
+  dropped and counted (protocol retransmission recovers, exactly as it
+  does from loss in the simulator).  Backoff is deterministic — no
+  jitter — so live runs stay as reproducible as the sockets allow.
+* :class:`UdpLoopbackTransport` — one datagram socket per node on
+  127.0.0.1; a frame is a datagram.  Oversized frames are dropped and
+  counted (a real UDP path would have fragmented or dropped them too).
+
+Both deliver inbound frames by calling ``on_frame(data)`` with one
+complete raw frame; decoding stays the caller's business so the byte
+accounting can see actual frame sizes.  Everything runs on the calling
+asyncio loop — no threads, no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.net.codec import CodecError, split_frames
+from repro.sim.topology import NodeId
+
+FrameHandler = Callable[[bytes], None]
+
+#: Largest frame a UDP datagram can carry safely on loopback.
+UDP_MAX_FRAME = 60_000
+
+
+@dataclass(slots=True)
+class TransportStats:
+    """Counters both transports maintain (read by tests and the audit)."""
+
+    frames_sent: int = 0
+    frames_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    dropped_oldest: int = 0
+    dropped_oversize: int = 0
+    dropped_unroutable: int = 0
+    reconnects: int = 0
+    connect_failures: int = 0
+    dropped_by_peer: dict[str, int] = field(default_factory=dict)
+
+    def note_oldest_drop(self, peer: NodeId) -> None:
+        self.dropped_oldest += 1
+        key = str(peer)
+        self.dropped_by_peer[key] = self.dropped_by_peer.get(key, 0) + 1
+
+
+class MeshTransport(Protocol):
+    """What the live network needs from a transport."""
+
+    stats: TransportStats
+    on_frame: FrameHandler | None
+
+    @property
+    def address(self) -> tuple[str, int]: ...
+
+    def set_peer(self, peer: NodeId, host: str, port: int) -> None: ...
+
+    def send(self, peer: NodeId, frame: bytes) -> None: ...
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]: ...
+
+    async def close(self) -> None: ...
+
+
+# ---------------------------------------------------------------------------
+# TCP mesh
+# ---------------------------------------------------------------------------
+class _PeerChannel:
+    """Outbound state for one peer: queue, writer task, backoff."""
+
+    __slots__ = ("addr", "queue", "task", "ready")
+
+    def __init__(self, addr: tuple[str, int]) -> None:
+        self.addr = addr
+        self.queue: deque[bytes] = deque()
+        self.task: asyncio.Task[None] | None = None
+        self.ready = asyncio.Event()
+
+
+class TcpMeshTransport:
+    """A full mesh of TCP connections between named nodes.
+
+    Frames carry the sender inside (the codec envelope), so inbound
+    connections are read-only: any peer may connect and push frames, and
+    this node pushes through its own outbound connections.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        queue_limit: int = 1024,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.node_id = node_id
+        self.queue_limit = queue_limit
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.stats = TransportStats()
+        self.on_frame: FrameHandler | None = None
+        self._peers: dict[NodeId, _PeerChannel] = {}
+        self._server: asyncio.Server | None = None
+        self._address: tuple[str, int] | None = None
+        self._readers: set[asyncio.Task[None]] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind the listening socket; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(self._accept, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self._address = (str(sockname[0]), int(sockname[1]))
+        return self._address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise RuntimeError("transport not started")
+        return self._address
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for channel in self._peers.values():
+            if channel.task is not None:
+                channel.task.cancel()
+        for task in list(self._readers):
+            task.cancel()
+        await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def set_peer(self, peer: NodeId, host: str, port: int) -> None:
+        self._peers[peer] = _PeerChannel((host, port))
+
+    def send(self, peer: NodeId, frame: bytes) -> None:
+        """Queue ``frame`` for ``peer`` (bounded; oldest dropped when full)."""
+        if self._closed:
+            return
+        channel = self._peers.get(peer)
+        if channel is None:
+            self.stats.dropped_unroutable += 1
+            return
+        if len(channel.queue) >= self.queue_limit:
+            channel.queue.popleft()
+            self.stats.note_oldest_drop(peer)
+        channel.queue.append(frame)
+        channel.ready.set()
+        if channel.task is None or channel.task.done():
+            channel.task = asyncio.get_running_loop().create_task(
+                self._pump(peer, channel)
+            )
+
+    async def _pump(self, peer: NodeId, channel: _PeerChannel) -> None:
+        """Writer loop for one peer: connect (with capped deterministic
+        backoff), then drain the queue for as long as the link holds."""
+        attempt = 0
+        while not self._closed:
+            try:
+                reader, writer = await asyncio.open_connection(*channel.addr)
+            except OSError:
+                self.stats.connect_failures += 1
+                delay = min(self.backoff_base * (2**attempt), self.backoff_cap)
+                attempt += 1
+                await asyncio.sleep(delay)
+                continue
+            if attempt > 0:
+                self.stats.reconnects += 1
+            attempt = 0
+            try:
+                while not self._closed:
+                    while channel.queue:
+                        frame = channel.queue.popleft()
+                        writer.write(frame)
+                        self.stats.frames_sent += 1
+                        self.stats.bytes_sent += len(frame)
+                    await writer.drain()
+                    if not channel.queue:
+                        channel.ready.clear()
+                        await channel.ready.wait()
+            except (OSError, ConnectionError):
+                continue  # reconnect with fresh backoff
+            finally:
+                writer.close()
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._readers.add(task)
+        buffer = bytearray()
+        try:
+            while not self._closed:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                buffer.extend(data)
+                try:
+                    frames = split_frames(buffer)
+                except CodecError:
+                    break  # unframeable stream: drop the connection
+                for frame in frames:
+                    self.stats.frames_received += 1
+                    self.stats.bytes_received += len(frame)
+                    if self.on_frame is not None:
+                        self.on_frame(frame)
+        except (OSError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._readers.discard(task)
+            writer.close()
+
+
+# ---------------------------------------------------------------------------
+# UDP loopback
+# ---------------------------------------------------------------------------
+class _UdpBridge(asyncio.DatagramProtocol):
+    def __init__(self, owner: "UdpLoopbackTransport") -> None:
+        self._owner = owner
+
+    def datagram_received(self, data: bytes, addr: tuple[str, int]) -> None:
+        self._owner.handle_datagram(data)
+
+
+class UdpLoopbackTransport:
+    """Single-datagram-per-frame transport for in-process clusters.
+
+    Loopback UDP gives real sockets and real serialization without
+    connection management; frames above :data:`UDP_MAX_FRAME` are dropped
+    with a counter, as they would not survive a real datagram path.
+    """
+
+    def __init__(self, node_id: NodeId) -> None:
+        self.node_id = node_id
+        self.stats = TransportStats()
+        self.on_frame: FrameHandler | None = None
+        self._peers: dict[NodeId, tuple[str, int]] = {}
+        self._transport: asyncio.DatagramTransport | None = None
+        self._address: tuple[str, int] | None = None
+        self._closed = False
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        loop = asyncio.get_running_loop()
+        transport, _protocol = await loop.create_datagram_endpoint(
+            lambda: _UdpBridge(self), local_addr=(host, port)
+        )
+        self._transport = transport
+        sockname = transport.get_extra_info("sockname")
+        self._address = (str(sockname[0]), int(sockname[1]))
+        return self._address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise RuntimeError("transport not started")
+        return self._address
+
+    def set_peer(self, peer: NodeId, host: str, port: int) -> None:
+        self._peers[peer] = (host, port)
+
+    def send(self, peer: NodeId, frame: bytes) -> None:
+        if self._closed or self._transport is None:
+            return
+        addr = self._peers.get(peer)
+        if addr is None:
+            self.stats.dropped_unroutable += 1
+            return
+        if len(frame) > UDP_MAX_FRAME:
+            self.stats.dropped_oversize += 1
+            return
+        self._transport.sendto(frame, addr)
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += len(frame)
+
+    def handle_datagram(self, data: bytes) -> None:
+        if self._closed:
+            return
+        self.stats.frames_received += 1
+        self.stats.bytes_received += len(data)
+        if self.on_frame is not None:
+            self.on_frame(data)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._transport is not None:
+            self._transport.close()
+        await asyncio.sleep(0)
+
+
+__all__ = [
+    "UDP_MAX_FRAME",
+    "FrameHandler",
+    "MeshTransport",
+    "TcpMeshTransport",
+    "TransportStats",
+    "UdpLoopbackTransport",
+]

@@ -178,6 +178,20 @@ class Simulator:
         heapq.heapify(self._queue)
         self._dead = 0
 
+    def next_event_time(self) -> float | None:
+        """Timestamp of the earliest live event, or ``None`` when the queue
+        holds nothing that can still fire.
+
+        Cancelled entries encountered at the head are popped eagerly (they
+        are dead weight anyway), so the peek stays amortized O(1).  The
+        live runtime's pacer uses this to sleep exactly until the next
+        protocol deadline instead of polling."""
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._dead -= 1
+        return queue[0][0] if queue else None
+
     def step(self) -> bool:
         """Execute the next pending event.
 

@@ -19,7 +19,7 @@ class TraceEvent:
     time: float
     node: Any
     category: str
-    detail: dict = field(default_factory=dict)
+    detail: dict[str, Any] = field(default_factory=dict)
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         details = " ".join(f"{k}={v}" for k, v in self.detail.items())
@@ -80,7 +80,7 @@ class TraceLog:
         until: float | None = None,
     ) -> list[TraceEvent]:
         """Return events matching all given filters."""
-        result = []
+        result: list[TraceEvent] = []
         for event in self._events:
             if category is not None and event.category != category:
                 continue

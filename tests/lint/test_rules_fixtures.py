@@ -103,6 +103,14 @@ def test_p204_knob_sync(bad_dir):
     assert any("ghost_knob" in f.message for f in found)
 
 
+def test_p205_codec_registration(bad_dir):
+    found = _findings(bad_dir, "P205")
+    assert len(found) == 1
+    assert "Pong" in found[0].message
+    # the finding points at the unregistered class, not at the codec
+    assert found[0].path.endswith("gcs/messages.py")
+
+
 # ---------------------------------------------------------------------------
 # totals and the good twin
 # ---------------------------------------------------------------------------
@@ -120,6 +128,7 @@ def test_bad_fixture_totals(bad_dir):
         "P202": 1,
         "P203": 2,
         "P204": 2,
+        "P205": 1,
     }
 
 

@@ -49,3 +49,29 @@ def test_new_wire_message_without_handler_fails(src_dir, tmp_path):
     report = lint_paths([tmp_path], select=["P201"])
     assert not report.ok
     assert any("Orphaned" in f.message for f in report.findings)
+
+
+def test_every_wire_message_is_codec_registered(src_dir):
+    """Codec completeness on the real tree: everything the simulator can
+    send must also encode for the live runtime."""
+    report = lint_paths([src_dir], select=["P205"])
+    assert report.ok, "\n".join(f.render() for f in report.findings)
+
+
+def test_new_wire_message_without_codec_registration_fails(src_dir, tmp_path):
+    """A message class added without a codec register() call must turn
+    P205 red, mirroring the P201 staging check."""
+    staged_gcs = tmp_path / "gcs"
+    staged_gcs.mkdir()
+    staged_net = tmp_path / "net"
+    staged_net.mkdir()
+    shutil.copy(src_dir / "repro" / "gcs" / "messages.py", staged_gcs / "messages.py")
+    shutil.copy(src_dir / "repro" / "net" / "codec.py", staged_net / "codec.py")
+    with (staged_gcs / "messages.py").open("a", encoding="utf-8") as handle:
+        handle.write(
+            "\n\n@dataclass(frozen=True, slots=True)\n"
+            "class Unregistered:\n    seq: int\n"
+        )
+    report = lint_paths([tmp_path], select=["P205"])
+    assert not report.ok
+    assert any("Unregistered" in f.message for f in report.findings)

@@ -1,0 +1,12 @@
+"""Fixture codec: Pong is a wire message but never registered (P205)."""
+
+from gcs.messages import Mutable, Ping
+
+
+def register(cls):
+    return cls
+
+
+register(Ping)
+register(Mutable)
+# Pong is missing: P205

@@ -1,0 +1,10 @@
+"""Fixture codec: every wire message is registered."""
+
+from gcs.messages import Ping
+
+
+def register(cls):
+    return cls
+
+
+register(Ping)

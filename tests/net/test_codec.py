@@ -1,0 +1,203 @@
+"""The binary codec: round-trip fidelity and strict rejection.
+
+The property test is the codec completeness gate from the live-runtime
+work: every frozen wire dataclass in ``core/wire.py`` and
+``gcs/messages.py`` must be registered and must survive an
+encode/decode round trip with arbitrary wire values in its fields.
+"""
+
+import dataclasses
+from dataclasses import dataclass, fields, is_dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.wire as wire_module
+import repro.gcs.messages as messages_module
+from repro.net.codec import (
+    MAX_FRAME,
+    WIRE_VERSION,
+    CodecError,
+    FrameDecoder,
+    TruncatedFrameError,
+    UnknownTypeError,
+    WireEnvelope,
+    decode_frame,
+    encode_frame,
+    frame_size,
+    registered_types,
+    split_frames,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+# Leaves only produce values the codec round-trips exactly: no NaN (x != x
+# breaks equality), no int/bool confusion (bools encode via their own tags).
+_leaves = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**70), max_value=2**70)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=20)
+)
+
+_wire_values = st.recursive(
+    _leaves,
+    lambda children: (
+        st.lists(children, max_size=4)
+        | st.lists(children, max_size=4).map(tuple)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4)
+        | st.frozensets(st.integers(), max_size=4)
+    ),
+    max_leaves=12,
+)
+
+
+def _instance_strategy(cls):
+    """Build ``cls`` with arbitrary wire values in every field (wire
+    dataclasses carry no validation; the codec is positional)."""
+    return st.tuples(*[_wire_values for _ in fields(cls)]).map(
+        lambda values: cls(*values)
+    )
+
+
+def _module_wire_classes(module):
+    return [
+        obj
+        for obj in vars(module).values()
+        if is_dataclass(obj)
+        and isinstance(obj, type)
+        and obj.__module__ == module.__name__
+    ]
+
+
+# ---------------------------------------------------------------------------
+# completeness gate
+# ---------------------------------------------------------------------------
+def test_every_wire_dataclass_is_registered():
+    registered = set(registered_types())
+    for module in (wire_module, messages_module):
+        for cls in _module_wire_classes(module):
+            assert cls in registered, (
+                f"{cls.__name__} is a wire dataclass but has no codec "
+                "registration (P205 should also be failing)"
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_registered_types_round_trip(data):
+    """Every registered dataclass survives encode -> decode exactly."""
+    for cls in registered_types():
+        instance = data.draw(_instance_strategy(cls), label=cls.__name__)
+        assert decode_frame(encode_frame(instance)) == instance
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=_wire_values)
+def test_plain_values_round_trip(value):
+    assert decode_frame(encode_frame(value)) == value
+
+
+def test_set_encoding_is_canonical():
+    a = encode_frame(frozenset([1, 2, 3]))
+    b = encode_frame(frozenset([3, 1, 2]))
+    assert a == b
+    assert decode_frame(a) == frozenset([1, 2, 3])
+
+
+def test_frame_size_matches_encoding():
+    envelope = WireEnvelope(
+        sender="s0", receiver="s1", kind="hb", size=1, payload=[1, 2.5, "x"]
+    )
+    assert frame_size(envelope) == len(encode_frame(envelope))
+
+
+# ---------------------------------------------------------------------------
+# strict rejection
+# ---------------------------------------------------------------------------
+def test_unregistered_dataclass_rejected():
+    @dataclass(frozen=True)
+    class NotOnTheWire:
+        x: int
+
+    with pytest.raises(UnknownTypeError):
+        encode_frame(NotOnTheWire(x=1))
+
+
+def test_unencodable_object_rejected():
+    with pytest.raises(UnknownTypeError):
+        encode_frame(object())
+
+
+def test_truncated_frames_rejected():
+    frame = encode_frame([1, 2, 3])
+    for cut in range(len(frame)):
+        with pytest.raises(CodecError):
+            decode_frame(frame[:cut])
+
+
+def test_trailing_bytes_rejected():
+    frame = encode_frame("hello")
+    with pytest.raises(CodecError):
+        decode_frame(frame + b"\x00")
+
+
+def test_version_skew_rejected():
+    frame = bytearray(encode_frame(42))
+    frame[4] = WIRE_VERSION + 1
+    with pytest.raises(CodecError, match="version"):
+        decode_frame(bytes(frame))
+
+
+def test_unknown_type_id_rejected():
+    # hand-build a dataclass frame with an id beyond the registry
+    body = bytearray([WIRE_VERSION, 13])  # _T_DATACLASS
+    body += (60_000).to_bytes(2, "big")
+    body += bytes([0])
+    frame = len(body).to_bytes(4, "big") + bytes(body)
+    with pytest.raises(UnknownTypeError):
+        decode_frame(frame)
+
+
+def test_field_count_mismatch_rejected():
+    frame = bytearray(encode_frame(WireEnvelope("a", "b", "k", 1, None)))
+    n_fields = len(dataclasses.fields(WireEnvelope))
+    # the field-count byte follows tag(1)+type_id(2) inside the body
+    index = frame.index(bytes([13])) + 3
+    assert frame[index] == n_fields
+    frame[index] = n_fields + 1
+    with pytest.raises(CodecError):
+        decode_frame(bytes(frame))
+
+
+def test_oversized_length_prefix_rejected():
+    frame = (MAX_FRAME + 1).to_bytes(4, "big") + b"\x01"
+    with pytest.raises(CodecError):
+        decode_frame(frame)
+    with pytest.raises(CodecError):
+        split_frames(bytearray(frame))
+
+
+# ---------------------------------------------------------------------------
+# stream reassembly
+# ---------------------------------------------------------------------------
+def test_split_frames_keeps_partial_tail():
+    f1, f2 = encode_frame("one"), encode_frame([2, 2])
+    buffer = bytearray(f1 + f2[:3])
+    frames = split_frames(buffer)
+    assert frames == [f1]
+    assert bytes(buffer) == f2[:3]
+
+
+def test_frame_decoder_across_chunks():
+    decoder = FrameDecoder()
+    stream = b"".join(encode_frame(v) for v in ("a", {"k": 1}, [True, None]))
+    out = []
+    for i in range(0, len(stream), 7):
+        out.extend(decoder.feed(stream[i : i + 7]))
+    assert out == ["a", {"k": 1}, [True, None]]
+    assert decoder.pending_bytes == 0

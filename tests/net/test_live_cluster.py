@@ -1,0 +1,88 @@
+"""End-to-end live clusters: the unchanged protocol stack over sockets.
+
+These run real wall-clock seconds (the live runtime paces the simulator
+one second per second), so the workloads are kept short; the CI
+live-smoke job runs the full-size scripted run.
+"""
+
+import pytest
+
+from repro.metrics.session_audit import propagation_byte_calibration
+from repro.net.cluster import LiveClusterOptions, run_live_cluster
+
+
+@pytest.fixture(scope="module")
+def failover_report():
+    """One shared kill-primary run (several wall seconds of streaming)."""
+    return run_live_cluster(
+        LiveClusterOptions(
+            nodes=3,
+            loopback=True,
+            requests=80,
+            kill_primary=True,
+            update_interval=0.02,
+            settle=1.5,
+        )
+    )
+
+
+def test_failover_run_is_clean(failover_report):
+    assert failover_report["clean"], failover_report["reasons"]
+    session = failover_report["session"]
+    assert session["started"]
+    assert session["responses_received"] > 0
+    assert session["updates_sent"] == 80
+
+
+def test_failover_loses_no_acknowledged_updates(failover_report):
+    session = failover_report["session"]
+    assert session["lost_acked_updates"] == 0
+    assert session["unacked_sends"] == 0
+    assert failover_report["multi_primary_time"] == 0.0
+
+
+def test_failover_kills_and_takes_over(failover_report):
+    assert failover_report["killed"] is not None
+    assert failover_report["takeover_seconds"] is not None
+    assert failover_report["takeover_seconds"] < 3.0
+
+
+def test_live_traffic_crosses_real_sockets(failover_report):
+    transport = failover_report["transport"]
+    assert sum(t["frames_sent"] for t in transport.values()) > 100
+    assert sum(t["bytes_received"] for t in transport.values()) > 1000
+    assert failover_report["frames_rejected"] == 0
+
+
+def test_live_byte_accounting_uses_actual_sizes(failover_report):
+    calibration = failover_report["bytes"]
+    assert calibration["actual_bytes_sent"] > 0
+    assert calibration["estimated_bytes_sent"] > 0
+    # the real codec costs more than the abstract unit estimates, and the
+    # live counters must reflect that (estimate == actual would mean the
+    # measure_frame hook never ran)
+    assert calibration["actual_bytes_sent"] != calibration["estimated_bytes_sent"]
+    assert calibration["actual_over_estimate"] > 0
+
+
+def test_sim_mode_calibration_ratio_is_one():
+    """In pure simulation both counter families advance by the estimate."""
+    from repro.core import AvailabilityPolicy, ServiceCluster
+    from repro.services import VodApplication, build_movie
+
+    movie = build_movie("demo", duration_seconds=30, frame_rate=24)
+    cluster = ServiceCluster.build(
+        n_servers=3,
+        units={"demo": VodApplication({"demo": movie})},
+        replication=3,
+        policy=AvailabilityPolicy(num_backups=1),
+        seed=7,
+    )
+    cluster.settle()
+    client = cluster.add_client("c")
+    handle = client.start_session("demo")
+    client.send_update(handle, {"op": "rate", "value": 30.0})
+    cluster.run(3.0)
+    calibration = propagation_byte_calibration(cluster)
+    assert calibration["estimated_bytes_sent"] > 0
+    assert calibration["actual_over_estimate"] == 1.0

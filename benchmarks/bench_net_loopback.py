@@ -1,26 +1,34 @@
 """N1 — live-runtime loopback benchmarks: the socket path under the stack.
 
-Three quantities for the live runtime added by the `repro.net` subsystem:
-raw codec+socket frame throughput (UDP loopback, no protocol above),
-client-observed request latency on a live 3-node VoD cluster (time from
-sending a context update to the first response reflecting it), and
-failover takeover time when the primary is killed mid-stream.
+Four quantities for the live runtime added by the `repro.net` subsystem:
+codec throughput on a protocol-shaped hot frame (fast path vs the
+generic self-describing path), raw codec+socket frame throughput (UDP
+loopback, no protocol above), client-observed request latency on a live
+3-node VoD cluster (time from sending a context update to the first
+response reflecting it), and failover takeover time when the primary is
+killed mid-stream.
 
 Unlike the simulation benchmarks these consume real wall seconds — the
 live runtime paces the simulator one second per second — so the runs are
-kept short.  Results persist to ``BENCH_net_loopback.json``.
+kept short.  Results persist to ``BENCH_net_loopback.json``; the
+``anchor_pre_fastpath`` section there is the same workload measured on
+the same machine immediately before the fast-path codec + coalescing
+work, kept as the honest before/after baseline.
 """
 
 import asyncio
 import os
+import time
 
+from repro.gcs.messages import OrderRequest, RequestId, Sequenced
+from repro.gcs.view import ViewId
 from repro.net.cluster import (
     LiveClusterOptions,
     build_live_cluster,
     build_report,
     schedule_workload,
 )
-from repro.net.codec import WireEnvelope, encode_frame
+from repro.net.codec import WireEnvelope, decode_frame, encode_frame
 from repro.net.transport import UdpLoopbackTransport
 
 
@@ -28,6 +36,64 @@ def _percentile(values: list, fraction: float) -> float:
     ordered = sorted(values)
     index = min(len(ordered) - 1, int(fraction * len(ordered)))
     return ordered[index]
+
+
+# ---------------------------------------------------------------------------
+# codec: fast path vs generic on the hottest frame shape
+# ---------------------------------------------------------------------------
+def _hot_envelope() -> WireEnvelope:
+    """The frame the live cluster sends most: an ordered request inside
+    the envelope shell — every field on the struct-packed fast path."""
+    rid = RequestId("c0", 1, 42)
+    order = OrderRequest(rid, "unit:demo", {"op": "rate", "value": 24.0}, 33)
+    return WireEnvelope(
+        sender="s0",
+        receiver="s1",
+        kind="gcs",
+        size=33,
+        payload=Sequenced(ViewId(3, "s0"), 11, order),
+    )
+
+
+def _codec_rates(n: int, fast: bool) -> dict:
+    envelope = _hot_envelope()
+    started = time.perf_counter()
+    for _ in range(n):
+        frame = encode_frame(envelope, fast=fast)
+    encode_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    for _ in range(n):
+        decode_frame(frame)
+    decode_seconds = time.perf_counter() - started
+    return {
+        "frame_bytes": len(frame),
+        "encodes_per_second": round(n / encode_seconds, 1),
+        "decodes_per_second": round(n / decode_seconds, 1),
+    }
+
+
+def test_codec_fast_vs_generic(benchmark, bench_persist):
+    n = 20_000 if os.environ.get("REPRO_BENCH_FULL") != "1" else 200_000
+
+    def once():
+        return {
+            "rounds": n,
+            "fast": _codec_rates(n, fast=True),
+            "generic": _codec_rates(n, fast=False),
+        }
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    fast, generic = result["fast"], result["generic"]
+    assert fast["frame_bytes"] <= generic["frame_bytes"]
+    bench_persist("net_loopback", {"codec": result})
+    print(
+        f"\ncodec on the hot envelope: fast "
+        f"{fast['encodes_per_second']:.0f} enc/s "
+        f"{fast['decodes_per_second']:.0f} dec/s ({fast['frame_bytes']}B) "
+        f"vs generic {generic['encodes_per_second']:.0f} enc/s "
+        f"{generic['decodes_per_second']:.0f} dec/s "
+        f"({generic['frame_bytes']}B)"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -133,6 +199,7 @@ def test_live_cluster_latency_and_failover(benchmark, bench_persist):
     assert latencies, "no update was ever reflected in a response"
     transports = report["transport"].values()
     total_frames = sum(t["frames_sent"] for t in transports)
+    total_writes = sum(t["writes"] for t in transports)
     result = {
         "nodes": 3,
         "requests": requests,
@@ -140,7 +207,11 @@ def test_live_cluster_latency_and_failover(benchmark, bench_persist):
         "request_latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 2),
         "request_latency_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 2),
         "takeover_seconds": report["takeover_seconds"],
+        # logical frames per second: coalescing packs many frames into one
+        # socket write, so this stays comparable with the pre-coalescing
+        # anchor while frames_per_write shows the packing factor
         "messages_per_second": round(total_frames / report["sim_seconds"], 1),
+        "frames_per_write": round(total_frames / max(total_writes, 1), 2),
         "lost_acked_updates": report["session"]["lost_acked_updates"],
         "byte_calibration_actual_over_estimate": round(
             report["bytes"]["actual_over_estimate"], 3

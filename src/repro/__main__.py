@@ -164,6 +164,8 @@ def _cmd_cluster(args) -> int:
         kill_primary=args.kill_primary,
         update_interval=args.update_interval,
         settle=args.settle,
+        transport=args.transport,
+        profile=args.profile,
     )
     report = run_live_cluster(options)
     text = json.dumps(report, indent=2, sort_keys=True)
@@ -206,6 +208,8 @@ def _cmd_serve(args) -> int:
             unit=args.unit,
             duration=args.duration,
             expect_members=args.expect_members,
+            transport=args.transport,
+            profile=args.profile,
         )
     )
     print(json.dumps(status, indent=2, sort_keys=True))
@@ -309,6 +313,17 @@ def main(argv: list[str] | None = None) -> int:
     cluster.add_argument("--update-interval", type=float, default=0.02)
     cluster.add_argument("--settle", type=float, default=2.0)
     cluster.add_argument(
+        "--transport",
+        default=None,
+        help="transport backend by registry name (default: udp when "
+        "--loopback, else tcp)",
+    )
+    cluster.add_argument(
+        "--profile",
+        default="live_lan",
+        help="timing profile: live_lan (tight LAN timeouts) or default",
+    )
+    cluster.add_argument(
         "--audit-json",
         metavar="FILE",
         default=None,
@@ -330,6 +345,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument("--unit", default="demo")
     serve.add_argument("--duration", type=float, default=10.0)
+    serve.add_argument(
+        "--transport",
+        default="tcp",
+        help="transport backend by registry name (default tcp)",
+    )
+    serve.add_argument(
+        "--profile",
+        default="default",
+        help="timing profile: default or live_lan (tight LAN timeouts)",
+    )
     serve.add_argument(
         "--expect-members",
         type=int,

@@ -34,35 +34,42 @@ from typing import Any, Callable
 # byte-size accounting
 # ---------------------------------------------------------------------------
 
-#: Abstract byte cost of the fixed per-message context header (counters,
-#: epoch, timestamps) charged on every snapshot or delta.
-_HEADER_COST = 24
+#: Abstract byte cost of the fixed per-propagation overhead: the frame
+#: header, the ``Propagate`` shell with its session/unit ids, and the
+#: snapshot/delta counter+timestamp fields.  Calibrated against the live
+#: codec (``repro.net.codec``) so simulated ``propagation_bytes_*``
+#: counters track what a live run actually puts on the wire; the live
+#: audit asserts the ratio stays within 1.25x.
+_HEADER_COST = 78
 
 
 def estimate_size(value: Any) -> int:
     """Deterministic abstract byte count of an application value.
 
     Used by the load accounting (experiment E2) to price propagation
-    traffic: numbers cost 8, strings their length, containers the sum of
-    their elements plus a small framing cost, dataclasses the sum of
-    their fields.  Unknown objects degrade to the length of their repr.
+    traffic.  The per-type costs mirror the live codec's generic
+    encoding (``repro.net.codec``): numbers are a tag plus eight bytes,
+    strings and bytes a tag plus a length word plus their content,
+    containers a tag plus a count word plus their elements, dataclasses
+    a tag plus a type id plus a field count plus their fields.  Unknown
+    objects degrade to the length of their repr.
     """
     if value is None or isinstance(value, bool):
         return 1
     if isinstance(value, (int, float)):
-        return 8
+        return 9
     if isinstance(value, str):
-        return len(value)
+        return 5 + len(value)
     if isinstance(value, bytes):
-        return len(value)
+        return 5 + len(value)
     if isinstance(value, dict):
-        return 2 + sum(
+        return 5 + sum(
             estimate_size(k) + estimate_size(v) for k, v in value.items()
         )
     if isinstance(value, (list, tuple, set, frozenset)):
-        return 2 + sum(estimate_size(item) for item in value)
+        return 5 + sum(estimate_size(item) for item in value)
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return 2 + sum(
+        return 4 + sum(
             estimate_size(getattr(value, f.name))
             for f in dataclasses.fields(value)
         )
@@ -168,9 +175,10 @@ class ContextDelta:
 
     @property
     def size_estimate(self) -> int:
-        """Abstract wire cost: header plus only the changed fields."""
+        """Abstract wire cost: header plus only the changed fields (each
+        pair rides in its own small tuple on the wire, hence the +5)."""
         return _HEADER_COST + sum(
-            estimate_size(name) + estimate_size(value)
+            5 + estimate_size(name) + estimate_size(value)
             for name, value in self.changes
         )
 

@@ -39,7 +39,7 @@ from repro.metrics.session_audit import (
     propagation_byte_calibration,
 )
 from repro.net.runtime import LiveNetwork, LiveRuntime
-from repro.net.transport import MeshTransport, TcpMeshTransport, UdpLoopbackTransport
+from repro.net.transport import MeshTransport, create_transport
 from repro.services.content import build_movie
 from repro.services.vod import VodApplication
 from repro.sim.engine import Simulator
@@ -48,7 +48,15 @@ from repro.sim.trace import TraceLog
 
 @dataclass(slots=True)
 class LiveClusterOptions:
-    """Shape of one scripted live run."""
+    """Shape of one scripted live run.
+
+    ``transport`` names a registered backend (see
+    :func:`repro.net.transport.create_transport`); when ``None`` the
+    legacy ``loopback`` flag picks ``"udp"``/``"tcp"``.  ``profile``
+    picks the :class:`GcsSettings` preset — live loopback runs default
+    to the tight :meth:`GcsSettings.live_lan` timings the fast wire path
+    affords.
+    """
 
     nodes: int = 3
     loopback: bool = True
@@ -61,6 +69,17 @@ class LiveClusterOptions:
     settle: float = 2.0
     max_tick: float = 0.05
     num_backups: int = 1
+    transport: str | None = None
+    profile: str = "live_lan"
+
+
+def resolve_profile(name: str) -> GcsSettings:
+    """Map a profile name to its :class:`GcsSettings` preset."""
+    if name == "default":
+        return GcsSettings()
+    if name == "live_lan":
+        return GcsSettings.live_lan()
+    raise ValueError(f"unknown settings profile {name!r} (default, live_lan)")
 
 
 @dataclass(slots=True)
@@ -133,10 +152,9 @@ async def build_live_cluster(options: LiveClusterOptions) -> LiveCluster:
     client_id = "c0"
     transports: dict[str, MeshTransport] = {}
     networks: dict[str, LiveNetwork] = {}
+    transport_name = options.transport or ("udp" if options.loopback else "tcp")
     for node in [*server_ids, client_id]:
-        transport: MeshTransport = (
-            UdpLoopbackTransport(node) if options.loopback else TcpMeshTransport(node)
-        )
+        transport = create_transport(transport_name, node)
         await transport.start("127.0.0.1", 0)
         transports[node] = transport
         networks[node] = LiveNetwork(sim, transport, trace=trace, wake=runtime.wake)
@@ -157,7 +175,7 @@ async def build_live_cluster(options: LiveClusterOptions) -> LiveCluster:
     application = VodApplication({options.unit: movie})
     catalog = {options.unit: content_group(options.unit)}
     policy = AvailabilityPolicy(num_backups=options.num_backups)
-    settings = GcsSettings()
+    settings = resolve_profile(options.profile)
 
     servers: dict[str, FrameworkServer] = {}
     for server_id in server_ids:
@@ -307,6 +325,7 @@ def build_report(cluster: LiveCluster, plan: WorkloadPlan) -> dict[str, Any]:
             "frames_received": transport.stats.frames_received,
             "bytes_sent": transport.stats.bytes_sent,
             "bytes_received": transport.stats.bytes_received,
+            "writes": transport.stats.writes,
             "dropped_oldest": transport.stats.dropped_oldest,
             "dropped_oversize": transport.stats.dropped_oversize,
             "reconnects": transport.stats.reconnects,
@@ -344,6 +363,12 @@ def build_report(cluster: LiveCluster, plan: WorkloadPlan) -> dict[str, Any]:
         reasons.append("overlapping primaries observed")
     if report["frames_rejected"] > 0:
         reasons.append(f"{report['frames_rejected']} frames rejected by the codec")
+    calibration = report["bytes"]
+    ratio = calibration.get("actual_over_estimate", 0.0)
+    if calibration.get("estimated_bytes_sent", 0) > 0 and not 0.8 <= ratio <= 1.25:
+        # the abstract size estimators must track the real codec closely
+        # enough that simulation byte budgets transfer to live runs
+        reasons.append(f"byte calibration off: actual/estimate = {ratio}")
     report["clean"] = not reasons
     report["reasons"] = reasons
     return report
@@ -378,13 +403,15 @@ class ServeOptions:
     duration: float = 10.0
     expect_members: int | None = None
     max_tick: float = 0.05
+    transport: str = "tcp"
+    profile: str = "default"
 
 
 async def _serve(options: ServeOptions) -> dict[str, Any]:
     sim = Simulator()
     trace = TraceLog(enabled=False)
     runtime = LiveRuntime(sim, max_tick=options.max_tick)
-    transport = TcpMeshTransport(options.node_id)
+    transport = create_transport(options.transport, options.node_id)
     await transport.start(*options.listen)
     network = LiveNetwork(sim, transport, trace=trace, wake=runtime.wake)
     for peer, (host, port) in options.peers.items():
@@ -401,7 +428,7 @@ async def _serve(options: ServeOptions) -> dict[str, Any]:
         applications={options.unit: VodApplication({options.unit: movie})},
         catalog={options.unit: content_group(options.unit)},
         policy=AvailabilityPolicy(num_backups=1),
-        settings=GcsSettings(),
+        settings=resolve_profile(options.profile),
         monitor=None,
     )
     server.start()
@@ -431,6 +458,7 @@ __all__ = [
     "WorkloadPlan",
     "build_live_cluster",
     "build_report",
+    "resolve_profile",
     "run_live_cluster",
     "run_single_node",
     "schedule_workload",

@@ -1,4 +1,4 @@
-"""Self-describing binary codec for the live runtime.
+"""Self-describing binary codec for the live runtime, with a struct fast path.
 
 Frame layout::
 
@@ -21,6 +21,21 @@ build when a wire message class in ``gcs/messages.py`` / ``core/wire.py``
 has no ``register(...)`` call here, so a new message cannot silently
 break live mode.
 
+**The fast path.**  The hottest frame types (heartbeats, client acks,
+sequenced batches, and the envelope itself) additionally have
+*specialized* encodings registered with :func:`register_fast`: their
+scalar fields are packed raw (length-prefixed UTF-8, fixed-width
+unsigned ints) under a dedicated value tag, skipping the per-field
+type-id/tag machinery of the generic dataclass form.  The two tiers
+share one decoder — :func:`decode_frame` understands both byte forms and
+produces identical objects — and every fast encoder *falls back* to the
+generic self-describing form whenever a field does not fit its packed
+layout (wrong type, out-of-range int, oversized string).  The wire
+contract is therefore: for any registered value there may be two valid
+byte encodings, and both decode to the same value.  P205 cross-checks
+that every ``register_fast(...)`` type also has a plain ``register(...)``
+call, so the fallback can never hit an unregistered class.
+
 Everything rejects loudly: unknown type ids and unregistered classes
 raise :class:`UnknownTypeError`, short or oversized frames raise
 :class:`TruncatedFrameError`, and trailing garbage inside a frame is a
@@ -31,9 +46,12 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, fields, is_dataclass
-from typing import Any
+from typing import Any, Callable
 
-WIRE_VERSION = 1
+#: Version 2 added the struct fast-path tags (14..22); a v1 peer would
+#: reject those frames as unknown tags, so the version byte makes the
+#: incompatibility explicit instead.
+WIRE_VERSION = 2
 
 #: Upper bound on one frame's body (a propagation snapshot of a pathological
 #: session state should still fit; anything larger is a protocol bug).
@@ -41,11 +59,13 @@ MAX_FRAME = 8 * 1024 * 1024
 
 _LEN = struct.Struct(">I")
 _U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
 _I64 = struct.Struct(">q")
 _F64 = struct.Struct(">d")
 
 _INT64_MIN = -(2**63)
 _INT64_MAX = 2**63 - 1
+_U32_MAX = 2**32 - 1
 
 
 class CodecError(ValueError):
@@ -58,6 +78,10 @@ class UnknownTypeError(CodecError):
 
 class TruncatedFrameError(CodecError):
     """A frame shorter (or longer) than its length prefix promises."""
+
+
+class _Fallback(Exception):
+    """A fast encoder cannot pack this value; use the generic form."""
 
 
 # ---------------------------------------------------------------------------
@@ -77,6 +101,16 @@ _T_DICT = 10
 _T_SET = 11
 _T_FROZENSET = 12
 _T_DATACLASS = 13
+# -- fast-path tags (wire version 2): struct-packed specializations ---------
+_T_ENVELOPE = 14
+_T_HEARTBEAT = 15
+_T_CLIENT_ACK = 16
+_T_REQUEST_ID = 17
+_T_VIEW_ID = 18
+_T_ORDER_REQUEST = 19
+_T_SEQUENCED = 20
+_T_SEQUENCED_BATCH = 21
+_T_CLIENT_MCAST = 22
 
 
 # ---------------------------------------------------------------------------
@@ -84,6 +118,12 @@ _T_DATACLASS = 13
 # ---------------------------------------------------------------------------
 _TYPE_IDS: dict[type, int] = {}
 _TYPES: list[type] = []
+
+_FastEncoder = Callable[[Any, bytearray], None]
+_FastDecoder = Callable[["memoryview", int], "tuple[Any, int]"]
+
+_FAST_ENCODERS: dict[type, _FastEncoder] = {}
+_FAST_DECODERS: dict[int, _FastDecoder] = {}
 
 
 def register(cls: type) -> type:
@@ -102,9 +142,36 @@ def register(cls: type) -> type:
     return cls
 
 
+def register_fast(
+    cls: type, tag: int, encoder: _FastEncoder, decoder: _FastDecoder
+) -> None:
+    """Attach a struct-packed specialized encoding to ``cls``.
+
+    ``cls`` must already be :func:`register`-ed — the fast path is an
+    *optimization over* the generic form, never a replacement: the
+    encoder is expected to raise :class:`_Fallback` for any instance its
+    packed layout cannot represent, and the generic form takes over.
+    """
+    if cls not in _TYPE_IDS:
+        raise CodecError(
+            f"{cls.__name__} needs a register(...) call before register_fast"
+        )
+    if cls in _FAST_ENCODERS:
+        raise CodecError(f"{cls.__name__} has two fast encoders")
+    if tag in _FAST_DECODERS:
+        raise CodecError(f"fast tag {tag} is used twice")
+    _FAST_ENCODERS[cls] = encoder
+    _FAST_DECODERS[tag] = decoder
+
+
 def registered_types() -> tuple[type, ...]:
     """Every registered dataclass, in wire-id order."""
     return tuple(_TYPES)
+
+
+def fast_path_types() -> tuple[type, ...]:
+    """Every dataclass with a specialized (struct-packed) encoding."""
+    return tuple(_FAST_ENCODERS)
 
 
 # ---------------------------------------------------------------------------
@@ -122,9 +189,51 @@ class WireEnvelope:
 
 
 # ---------------------------------------------------------------------------
+# fast-path packing helpers
+# ---------------------------------------------------------------------------
+def _pack_str8(value: Any, out: bytearray) -> None:
+    """A u8-length-prefixed UTF-8 string (node ids, kinds, group names)."""
+    if type(value) is not str:
+        raise _Fallback
+    raw = value.encode("utf-8")
+    if len(raw) > 255:
+        raise _Fallback
+    out.append(len(raw))
+    out += raw
+
+
+def _pack_u32(value: Any, out: bytearray) -> None:
+    if type(value) is not int or not 0 <= value <= _U32_MAX:
+        raise _Fallback
+    out += _U32.pack(value)
+
+
+def _read_str8(view: memoryview, offset: int) -> tuple[str, int]:
+    _need(view, offset, 1)
+    length = view[offset]
+    offset += 1
+    _need(view, offset, length)
+    return str(view[offset : offset + length], "utf-8"), offset + length
+
+
+def _read_u32(view: memoryview, offset: int) -> tuple[int, int]:
+    _need(view, offset, 4)
+    return _U32.unpack_from(view, offset)[0], offset + 4
+
+
+# ---------------------------------------------------------------------------
 # encoding
 # ---------------------------------------------------------------------------
-def _encode(value: Any, out: bytearray) -> None:
+def _encode(value: Any, out: bytearray, fast: bool) -> None:
+    if fast:
+        fast_encoder = _FAST_ENCODERS.get(type(value))
+        if fast_encoder is not None:
+            mark = len(out)
+            try:
+                fast_encoder(value, out)
+                return
+            except _Fallback:
+                del out[mark:]  # repack with the generic form below
     if value is None:
         out.append(_T_NONE)
     elif value is True:
@@ -156,20 +265,20 @@ def _encode(value: Any, out: bytearray) -> None:
         out.append(_T_LIST)
         out += _LEN.pack(len(value))
         for item in value:
-            _encode(item, out)
+            _encode(item, out, fast)
     elif isinstance(value, tuple):
         out.append(_T_TUPLE)
         out += _LEN.pack(len(value))
         for item in value:
-            _encode(item, out)
+            _encode(item, out, fast)
     elif isinstance(value, dict):
         # insertion order is preserved: protocol dicts are built
         # deterministically, so both ends see the same byte sequence
         out.append(_T_DICT)
         out += _LEN.pack(len(value))
         for key, item in value.items():
-            _encode(key, out)
-            _encode(item, out)
+            _encode(key, out, fast)
+            _encode(item, out, fast)
     elif isinstance(value, (set, frozenset)):
         # canonical form: members sorted by their own encoding, so two
         # equal sets encode identically regardless of iteration order
@@ -178,7 +287,7 @@ def _encode(value: Any, out: bytearray) -> None:
         encoded: list[bytes] = []
         for item in value:
             buf = bytearray()
-            _encode(item, buf)
+            _encode(item, buf, fast)
             encoded.append(bytes(buf))
         for raw in sorted(encoded):
             out += raw
@@ -194,7 +303,7 @@ def _encode(value: Any, out: bytearray) -> None:
         out += _U16.pack(type_id)
         out.append(len(spec))
         for f in spec:
-            _encode(getattr(value, f.name), out)
+            _encode(getattr(value, f.name), out, fast)
     else:
         raise UnknownTypeError(
             f"cannot encode {type(value).__name__!r} (not a wire type)"
@@ -291,17 +400,69 @@ def _decode(view: memoryview, offset: int) -> tuple[Any, int]:
             value, offset = _decode(view, offset)
             values.append(value)
         return cls(*values), offset
+    fast_decoder = _FAST_DECODERS.get(tag)
+    if fast_decoder is not None:
+        return fast_decoder(view, offset)
     raise CodecError(f"unknown value tag {tag}")
 
 
 # ---------------------------------------------------------------------------
 # framing
 # ---------------------------------------------------------------------------
-def encode_frame(value: Any) -> bytes:
-    """One complete frame (length prefix + version byte + value)."""
+def encode_frame(value: Any, *, fast: bool = True) -> bytes:
+    """One complete frame (length prefix + version byte + value).
+
+    ``fast=False`` forces the generic self-describing form even for types
+    with a specialized encoding (tests use it to pin the two-path wire
+    contract; production callers never need it).
+    """
     body = bytearray()
     body.append(WIRE_VERSION)
-    _encode(value, body)
+    _encode(value, body, fast)
+    if len(body) > MAX_FRAME:
+        raise CodecError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME}")
+    return _LEN.pack(len(body)) + bytes(body)
+
+
+def encode_payload(value: Any, *, fast: bool = True) -> bytes:
+    """The bare value encoding (no length prefix, no version byte).
+
+    The splice unit for :func:`encode_envelope_frame`: a rebroadcast
+    payload is encoded once and wrapped in one envelope per receiver.
+    """
+    body = bytearray()
+    _encode(value, body, fast)
+    return bytes(body)
+
+
+def encode_envelope_frame(
+    sender: Any, receiver: Any, kind: str, size: int, payload_bytes: bytes
+) -> bytes:
+    """One complete envelope frame around a pre-encoded payload.
+
+    Byte-identical to ``encode_frame(WireEnvelope(...))`` for the same
+    field values — the fast envelope shell when the addressing fields fit
+    its packed layout, the generic dataclass shell otherwise — without
+    re-encoding the payload.
+    """
+    body = bytearray([WIRE_VERSION])
+    mark = len(body)
+    try:
+        body.append(_T_ENVELOPE)
+        _pack_str8(sender, body)
+        _pack_str8(receiver, body)
+        _pack_str8(kind, body)
+        _pack_u32(size, body)
+    except _Fallback:
+        del body[mark:]
+        body.append(_T_DATACLASS)
+        body += _U16.pack(_TYPE_IDS[WireEnvelope])
+        body.append(len(fields(WireEnvelope)))
+        _encode(sender, body, True)
+        _encode(receiver, body, True)
+        _encode(kind, body, True)
+        _encode(size, body, True)
+    body += payload_bytes
     if len(body) > MAX_FRAME:
         raise CodecError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME}")
     return _LEN.pack(len(body)) + bytes(body)
@@ -313,7 +474,11 @@ def frame_size(value: Any) -> int:
 
 
 def decode_frame(frame: bytes) -> Any:
-    """Decode exactly one frame; rejects truncation, padding, version skew."""
+    """Decode exactly one frame; rejects truncation, padding, version skew.
+
+    One decoder for both tiers: generic self-describing values and the
+    struct fast-path forms land here and produce identical objects.
+    """
     if len(frame) < 5:
         raise TruncatedFrameError(f"frame of {len(frame)} bytes has no header")
     (length,) = _LEN.unpack_from(frame, 0)
@@ -454,6 +619,166 @@ register(EducationSessionState)
 register(SearchSessionState)
 
 
+# ---------------------------------------------------------------------------
+# fast-path codecs — specialized byte forms for the hottest frame types.
+# Each encoder packs scalar fields raw and embeds nested values as tagged
+# encodings (which may themselves take a fast form); any field its layout
+# cannot represent raises _Fallback, and the generic form above is used.
+# Every type here MUST also appear in the register(...) block (P205
+# checks this) — the fast path is an optimization, not the contract.
+# ---------------------------------------------------------------------------
+def _enc_envelope(value: Any, out: bytearray) -> None:
+    out.append(_T_ENVELOPE)
+    _pack_str8(value.sender, out)
+    _pack_str8(value.receiver, out)
+    _pack_str8(value.kind, out)
+    _pack_u32(value.size, out)
+    _encode(value.payload, out, True)
+
+
+def _dec_envelope(view: memoryview, offset: int) -> tuple[Any, int]:
+    sender, offset = _read_str8(view, offset)
+    receiver, offset = _read_str8(view, offset)
+    kind, offset = _read_str8(view, offset)
+    size, offset = _read_u32(view, offset)
+    payload, offset = _decode(view, offset)
+    return WireEnvelope(sender, receiver, kind, size, payload), offset
+
+
+def _enc_heartbeat(value: Any, out: bytearray) -> None:
+    out.append(_T_HEARTBEAT)
+    _pack_str8(value.sender, out)
+    _pack_u32(value.incarnation, out)
+    _pack_u32(value.view_counter, out)
+    _encode(value.config_view_id, out, True)
+
+
+def _dec_heartbeat(view: memoryview, offset: int) -> tuple[Any, int]:
+    sender, offset = _read_str8(view, offset)
+    incarnation, offset = _read_u32(view, offset)
+    view_counter, offset = _read_u32(view, offset)
+    config_view_id, offset = _decode(view, offset)
+    return Heartbeat(sender, incarnation, view_counter, config_view_id), offset
+
+
+def _enc_request_id(value: Any, out: bytearray) -> None:
+    out.append(_T_REQUEST_ID)
+    _pack_str8(value.origin, out)
+    _pack_u32(value.incarnation, out)
+    _pack_u32(value.counter, out)
+
+
+def _dec_request_id(view: memoryview, offset: int) -> tuple[Any, int]:
+    origin, offset = _read_str8(view, offset)
+    incarnation, offset = _read_u32(view, offset)
+    counter, offset = _read_u32(view, offset)
+    return RequestId(origin, incarnation, counter), offset
+
+
+def _enc_view_id(value: Any, out: bytearray) -> None:
+    out.append(_T_VIEW_ID)
+    _pack_u32(value.counter, out)
+    _pack_str8(value.coordinator, out)
+
+
+def _dec_view_id(view: memoryview, offset: int) -> tuple[Any, int]:
+    counter, offset = _read_u32(view, offset)
+    coordinator, offset = _read_str8(view, offset)
+    return ViewId(counter, coordinator), offset
+
+
+def _enc_client_ack(value: Any, out: bytearray) -> None:
+    out.append(_T_CLIENT_ACK)
+    _encode(value.request_id, out, True)
+
+
+def _dec_client_ack(view: memoryview, offset: int) -> tuple[Any, int]:
+    request_id, offset = _decode(view, offset)
+    return ClientAck(request_id), offset
+
+
+def _enc_order_request(value: Any, out: bytearray) -> None:
+    out.append(_T_ORDER_REQUEST)
+    _pack_str8(value.group, out)
+    _pack_u32(value.size_estimate, out)
+    _encode(value.request_id, out, True)
+    _encode(value.payload, out, True)
+
+
+def _dec_order_request(view: memoryview, offset: int) -> tuple[Any, int]:
+    group, offset = _read_str8(view, offset)
+    size_estimate, offset = _read_u32(view, offset)
+    request_id, offset = _decode(view, offset)
+    payload, offset = _decode(view, offset)
+    return OrderRequest(request_id, group, payload, size_estimate), offset
+
+
+def _enc_client_mcast(value: Any, out: bytearray) -> None:
+    out.append(_T_CLIENT_MCAST)
+    _pack_str8(value.group, out)
+    _pack_u32(value.size_estimate, out)
+    _encode(value.request_id, out, True)
+    _encode(value.payload, out, True)
+
+
+def _dec_client_mcast(view: memoryview, offset: int) -> tuple[Any, int]:
+    group, offset = _read_str8(view, offset)
+    size_estimate, offset = _read_u32(view, offset)
+    request_id, offset = _decode(view, offset)
+    payload, offset = _decode(view, offset)
+    return ClientMcast(request_id, group, payload, size_estimate), offset
+
+
+def _enc_sequenced(value: Any, out: bytearray) -> None:
+    out.append(_T_SEQUENCED)
+    _pack_u32(value.seq, out)
+    _encode(value.config_view_id, out, True)
+    _encode(value.request, out, True)
+
+
+def _dec_sequenced(view: memoryview, offset: int) -> tuple[Any, int]:
+    seq, offset = _read_u32(view, offset)
+    config_view_id, offset = _decode(view, offset)
+    request, offset = _decode(view, offset)
+    return Sequenced(config_view_id, seq, request), offset
+
+
+def _enc_sequenced_batch(value: Any, out: bytearray) -> None:
+    messages = value.messages
+    if type(messages) is not tuple or len(messages) > 0xFFFF:
+        raise _Fallback
+    out.append(_T_SEQUENCED_BATCH)
+    out += _U16.pack(len(messages))
+    _encode(value.config_view_id, out, True)
+    for message in messages:
+        _encode(message, out, True)
+
+
+def _dec_sequenced_batch(view: memoryview, offset: int) -> tuple[Any, int]:
+    _need(view, offset, 2)
+    (count,) = _U16.unpack_from(view, offset)
+    offset += 2
+    config_view_id, offset = _decode(view, offset)
+    messages: list[Any] = []
+    for _ in range(count):
+        message, offset = _decode(view, offset)
+        messages.append(message)
+    return SequencedBatch(config_view_id, tuple(messages)), offset
+
+
+register_fast(WireEnvelope, _T_ENVELOPE, _enc_envelope, _dec_envelope)
+register_fast(Heartbeat, _T_HEARTBEAT, _enc_heartbeat, _dec_heartbeat)
+register_fast(RequestId, _T_REQUEST_ID, _enc_request_id, _dec_request_id)
+register_fast(ViewId, _T_VIEW_ID, _enc_view_id, _dec_view_id)
+register_fast(ClientAck, _T_CLIENT_ACK, _enc_client_ack, _dec_client_ack)
+register_fast(OrderRequest, _T_ORDER_REQUEST, _enc_order_request, _dec_order_request)
+register_fast(ClientMcast, _T_CLIENT_MCAST, _enc_client_mcast, _dec_client_mcast)
+register_fast(Sequenced, _T_SEQUENCED, _enc_sequenced, _dec_sequenced)
+register_fast(
+    SequencedBatch, _T_SEQUENCED_BATCH, _enc_sequenced_batch, _dec_sequenced_batch
+)
+
+
 __all__ = [
     "MAX_FRAME",
     "WIRE_VERSION",
@@ -463,9 +788,13 @@ __all__ = [
     "UnknownTypeError",
     "WireEnvelope",
     "decode_frame",
+    "encode_envelope_frame",
     "encode_frame",
+    "encode_payload",
+    "fast_path_types",
     "frame_size",
     "register",
+    "register_fast",
     "registered_types",
     "split_frames",
 ]

@@ -29,7 +29,14 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable
 
-from repro.net.codec import CodecError, WireEnvelope, decode_frame, encode_frame
+from repro.net.codec import (
+    CodecError,
+    WireEnvelope,
+    decode_frame,
+    encode_envelope_frame,
+    encode_frame,
+    encode_payload,
+)
 from repro.net.transport import MeshTransport
 from repro.sim.engine import Simulator
 from repro.sim.latency import FixedLatency
@@ -65,6 +72,14 @@ class LiveNetwork(Network):
         #: calibration source for the abstract ``size`` estimates
         self.actual_bytes_sent: dict[str, int] = {}
         self.actual_bytes_received: dict[str, int] = {}
+        # identity-keyed cache of recent payload encodings: a broadcast
+        # constructs ONE message object and sends it to every peer, so the
+        # payload is encoded once and only the envelope shell differs per
+        # receiver.  Safe because wire messages are frozen and never
+        # mutated after sending (the protocol convention the codec's
+        # round-trip contract already relies on).
+        self._encode_cache: list[tuple[Any, bytes]] = []
+        self.encode_cache_hits = 0
 
     def set_wake(self, wake: Callable[[], None]) -> None:
         """Install the pacer's wake callback (set once the runtime exists)."""
@@ -99,14 +114,24 @@ class LiveNetwork(Network):
         sent_stats = self._stats_sent[sender][kind]
         sent_stats.sent += 1
         sent_stats.bytes_sent += size
-        frame = encode_frame(
-            WireEnvelope(
-                sender=sender, receiver=receiver, kind=kind, size=size, payload=payload
-            )
+        frame = encode_envelope_frame(
+            sender, receiver, kind, size, self._payload_bytes(payload)
         )
         self.actual_bytes_sent[kind] = self.actual_bytes_sent.get(kind, 0) + len(frame)
         self.transport.send(receiver, frame)
         return message
+
+    def _payload_bytes(self, payload: Any) -> bytes:
+        """Encode ``payload`` once per object: rebroadcasts hit the cache."""
+        for cached, raw in self._encode_cache:
+            if cached is payload:
+                self.encode_cache_hits += 1
+                return raw
+        raw = encode_payload(payload)
+        self._encode_cache.append((payload, raw))
+        if len(self._encode_cache) > 8:
+            self._encode_cache.pop(0)
+        return raw
 
     def measure_frame(self, payload: Any) -> int:
         """Actual encoded byte size of ``payload`` on this wire.
@@ -156,11 +181,25 @@ class LiveNetwork(Network):
 
 
 class LiveRuntime:
-    """Paces one :class:`Simulator` against the asyncio wall clock."""
+    """Paces one :class:`Simulator` against the asyncio wall clock.
 
-    def __init__(self, sim: Simulator, max_tick: float = 0.05) -> None:
+    ``io_slice`` bounds how much sim time one synchronous ``run_until``
+    may replay before yielding to the event loop.  Without the bound, a
+    stall (GC pause, scheduler hiccup) is replayed in one blocking call:
+    failure-detector timers inside the stalled window fire while the
+    peers' heartbeats from that same window still sit unread in kernel
+    socket buffers — every node suspects every peer at once and the
+    cluster fragments into singleton views for no reason.  Slicing the
+    catch-up lets inbound frames land between slices, so liveness
+    evidence is ingested before the suspicion deadlines it refutes.
+    """
+
+    def __init__(
+        self, sim: Simulator, max_tick: float = 0.05, io_slice: float = 0.01
+    ) -> None:
         self.sim = sim
         self.max_tick = max_tick
+        self.io_slice = io_slice
         self._wake = asyncio.Event()
         self._stopped = False
 
@@ -181,8 +220,14 @@ class LiveRuntime:
         end = origin + duration
         while not self._stopped:
             target = min(origin + (loop.time() - started), end)
-            if target > self.sim.now:
-                self.sim.run_until(target)
+            while target > self.sim.now and not self._stopped:
+                self.sim.run_until(min(self.sim.now + self.io_slice, target))
+                if self.sim.now >= target:
+                    break
+                # catching up a long gap: drain inbound frames between
+                # slices so heartbeats refute suspicions in time order
+                await asyncio.sleep(0)
+                target = min(origin + (loop.time() - started), end)
             if self.sim.now >= end:
                 break
             upcoming = self.sim.next_event_time()

@@ -11,13 +11,31 @@ Two interchangeable transports move opaque frames (produced by
   does from loss in the simulator).  Backoff is deterministic — no
   jitter — so live runs stay as reproducible as the sockets allow.
 * :class:`UdpLoopbackTransport` — one datagram socket per node on
-  127.0.0.1; a frame is a datagram.  Oversized frames are dropped and
-  counted (a real UDP path would have fragmented or dropped them too).
+  127.0.0.1.  Oversized frames are dropped and counted (a real UDP path
+  would have fragmented or dropped them too).
+
+Both transports *coalesce*: the TCP writer drains its whole queue into
+one writev-style payload per wakeup (one ``write``, one ``drain``), and
+the UDP sender packs frames queued within one event-loop turn into a
+single datagram up to :data:`UDP_MAX_FRAME`.  The length-prefixed frame
+format makes the receive side split coalesced payloads back into frames
+without decoding anything.  ``frames_sent``/``frames_received`` count
+*logical* frames so throughput metrics stay comparable across
+transports; the ``writes`` counter records actual socket operations.
+
+Frames are counted as sent only once the socket accepted them (after a
+successful ``drain`` on TCP); a batch in flight when the connection
+drops is re-queued ahead of newer frames, so a reconnect re-sends it
+instead of silently losing it.
 
 Both deliver inbound frames by calling ``on_frame(data)`` with one
 complete raw frame; decoding stays the caller's business so the byte
 accounting can see actual frame sizes.  Everything runs on the calling
 asyncio loop — no threads, no locks.
+
+Transports register themselves by name (:func:`register_transport`), so
+alternative backends can be benchmarked by name without touching the
+runtime: ``create_transport("tcp", node_id)``.
 """
 
 from __future__ import annotations
@@ -32,18 +50,26 @@ from repro.sim.topology import NodeId
 
 FrameHandler = Callable[[bytes], None]
 
-#: Largest frame a UDP datagram can carry safely on loopback.
+#: Largest datagram payload the UDP transport will send on loopback;
+#: also the coalescing bound (frames are packed up to this size).
 UDP_MAX_FRAME = 60_000
 
 
 @dataclass(slots=True)
 class TransportStats:
-    """Counters both transports maintain (read by tests and the audit)."""
+    """Counters both transports maintain (read by tests and the audit).
+
+    ``frames_sent`` counts logical frames accepted by the socket layer;
+    ``writes`` counts actual socket operations (writev-style batches on
+    TCP, datagrams on UDP), so ``frames_sent / writes`` is the achieved
+    coalescing factor.
+    """
 
     frames_sent: int = 0
     frames_received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    writes: int = 0
     dropped_oldest: int = 0
     dropped_oversize: int = 0
     dropped_unroutable: int = 0
@@ -73,6 +99,36 @@ class MeshTransport(Protocol):
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]: ...
 
     async def close(self) -> None: ...
+
+
+# ---------------------------------------------------------------------------
+# transport registry
+# ---------------------------------------------------------------------------
+TransportFactory = Callable[[NodeId], "MeshTransport"]
+
+_TRANSPORT_REGISTRY: dict[str, TransportFactory] = {}
+
+
+def register_transport(name: str, factory: TransportFactory) -> None:
+    """Make ``factory`` constructible by name via :func:`create_transport`."""
+    if name in _TRANSPORT_REGISTRY:
+        raise ValueError(f"transport {name!r} is registered twice")
+    _TRANSPORT_REGISTRY[name] = factory
+
+
+def create_transport(name: str, node_id: NodeId) -> MeshTransport:
+    """Build the transport registered under ``name`` for ``node_id``."""
+    factory = _TRANSPORT_REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown transport {name!r} "
+            f"(available: {', '.join(available_transports())})"
+        )
+    return factory(node_id)
+
+
+def available_transports() -> tuple[str, ...]:
+    return tuple(sorted(_TRANSPORT_REGISTRY))
 
 
 # ---------------------------------------------------------------------------
@@ -173,7 +229,13 @@ class TcpMeshTransport:
 
     async def _pump(self, peer: NodeId, channel: _PeerChannel) -> None:
         """Writer loop for one peer: connect (with capped deterministic
-        backoff), then drain the queue for as long as the link holds."""
+        backoff), then drain the queue for as long as the link holds.
+
+        Each wakeup coalesces the whole queue into one write and one
+        drain.  The batch is only counted as sent after the drain
+        succeeds; if the connection dies first, the batch is re-queued
+        ahead of newer frames so the reconnect re-sends it in order.
+        """
         attempt = 0
         while not self._closed:
             try:
@@ -187,19 +249,27 @@ class TcpMeshTransport:
             if attempt > 0:
                 self.stats.reconnects += 1
             attempt = 0
+            batch: list[bytes] = []
             try:
                 while not self._closed:
-                    while channel.queue:
-                        frame = channel.queue.popleft()
-                        writer.write(frame)
-                        self.stats.frames_sent += 1
-                        self.stats.bytes_sent += len(frame)
-                    await writer.drain()
                     if not channel.queue:
                         channel.ready.clear()
                         await channel.ready.wait()
+                        continue
+                    batch = []
+                    while channel.queue:
+                        batch.append(channel.queue.popleft())
+                    writer.write(b"".join(batch))
+                    self.stats.writes += 1
+                    await writer.drain()
+                    self.stats.frames_sent += len(batch)
+                    self.stats.bytes_sent += sum(len(f) for f in batch)
+                    batch = []
             except (OSError, ConnectionError):
-                continue  # reconnect with fresh backoff
+                # the in-flight batch was never counted as sent; put it
+                # back ahead of newer frames and reconnect
+                channel.queue.extendleft(reversed(batch))
+                continue
             finally:
                 writer.close()
 
@@ -248,11 +318,15 @@ class _UdpBridge(asyncio.DatagramProtocol):
 
 
 class UdpLoopbackTransport:
-    """Single-datagram-per-frame transport for in-process clusters.
+    """Datagram transport for in-process clusters.
 
     Loopback UDP gives real sockets and real serialization without
-    connection management; frames above :data:`UDP_MAX_FRAME` are dropped
-    with a counter, as they would not survive a real datagram path.
+    connection management.  Frames queued for the same peer within one
+    event-loop turn are packed into a single datagram (flushed via
+    ``call_soon``, so coalescing never delays a frame past the current
+    turn); the receive side splits packed datagrams on the length
+    prefixes.  Frames above :data:`UDP_MAX_FRAME` are dropped with a
+    counter, as they would not survive a real datagram path.
     """
 
     def __init__(self, node_id: NodeId) -> None:
@@ -260,6 +334,8 @@ class UdpLoopbackTransport:
         self.stats = TransportStats()
         self.on_frame: FrameHandler | None = None
         self._peers: dict[NodeId, tuple[str, int]] = {}
+        self._pending: dict[NodeId, list[bytes]] = {}
+        self._pending_size: dict[NodeId, int] = {}
         self._transport: asyncio.DatagramTransport | None = None
         self._address: tuple[str, int] | None = None
         self._closed = False
@@ -286,30 +362,72 @@ class UdpLoopbackTransport:
     def send(self, peer: NodeId, frame: bytes) -> None:
         if self._closed or self._transport is None:
             return
-        addr = self._peers.get(peer)
-        if addr is None:
+        if peer not in self._peers:
             self.stats.dropped_unroutable += 1
             return
         if len(frame) > UDP_MAX_FRAME:
             self.stats.dropped_oversize += 1
             return
-        self._transport.sendto(frame, addr)
-        self.stats.frames_sent += 1
-        self.stats.bytes_sent += len(frame)
+        pending = self._pending.get(peer)
+        if pending is not None and self._pending_size[peer] + len(frame) > UDP_MAX_FRAME:
+            self._flush(peer)  # keep the datagram under the size bound
+            pending = None
+        if pending is None:
+            self._pending[peer] = [frame]
+            self._pending_size[peer] = len(frame)
+            asyncio.get_running_loop().call_soon(self._flush, peer)
+        else:
+            pending.append(frame)
+            self._pending_size[peer] += len(frame)
+
+    def _flush(self, peer: NodeId) -> None:
+        """Send the pending frames for ``peer`` as one packed datagram."""
+        frames = self._pending.pop(peer, None)
+        self._pending_size.pop(peer, None)
+        if not frames or self._closed or self._transport is None:
+            return
+        addr = self._peers.get(peer)
+        if addr is None:
+            self.stats.dropped_unroutable += len(frames)
+            return
+        payload = frames[0] if len(frames) == 1 else b"".join(frames)
+        self._transport.sendto(payload, addr)
+        self.stats.writes += 1
+        self.stats.frames_sent += len(frames)
+        self.stats.bytes_sent += len(payload)
 
     def handle_datagram(self, data: bytes) -> None:
         if self._closed:
             return
-        self.stats.frames_received += 1
         self.stats.bytes_received += len(data)
-        if self.on_frame is not None:
-            self.on_frame(data)
+        buffer = bytearray(data)
+        try:
+            frames = split_frames(buffer)
+        except CodecError:
+            frames = []
+        if buffer or not frames:
+            # unframeable datagram: hand it up whole, the decoder
+            # rejects it and the runtime counts the rejection
+            self.stats.frames_received += 1
+            if self.on_frame is not None:
+                self.on_frame(data)
+            return
+        for frame in frames:
+            self.stats.frames_received += 1
+            if self.on_frame is not None:
+                self.on_frame(frame)
 
     async def close(self) -> None:
+        for peer in list(self._pending):
+            self._flush(peer)  # don't strand frames queued this turn
         self._closed = True
         if self._transport is not None:
             self._transport.close()
         await asyncio.sleep(0)
+
+
+register_transport("tcp", TcpMeshTransport)
+register_transport("udp", UdpLoopbackTransport)
 
 
 __all__ = [
@@ -317,6 +435,10 @@ __all__ = [
     "FrameHandler",
     "MeshTransport",
     "TcpMeshTransport",
+    "TransportFactory",
     "TransportStats",
     "UdpLoopbackTransport",
+    "available_transports",
+    "create_transport",
+    "register_transport",
 ]

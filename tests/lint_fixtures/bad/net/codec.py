@@ -1,12 +1,18 @@
-"""Fixture codec: Pong is a wire message but never registered (P205)."""
+"""Fixture codec: Pong is a wire message but never registered (P205),
+and its fast-path registration has no generic fallback registration."""
 
-from gcs.messages import Mutable, Ping
+from gcs.messages import Mutable, Ping, Pong
 
 
 def register(cls):
     return cls
 
 
+def register_fast(cls, tag, encoder, decoder):
+    return cls
+
+
 register(Ping)
 register(Mutable)
 # Pong is missing: P205
+register_fast(Pong, 14, None, None)  # fast path without register(): P205

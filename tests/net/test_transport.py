@@ -1,4 +1,4 @@
-"""The asyncio transports: delivery, backpressure, and rejection."""
+"""The asyncio transports: delivery, coalescing, backpressure, rejection."""
 
 import asyncio
 
@@ -9,6 +9,8 @@ from repro.net.transport import (
     UDP_MAX_FRAME,
     TcpMeshTransport,
     UdpLoopbackTransport,
+    available_transports,
+    create_transport,
 )
 
 
@@ -143,6 +145,114 @@ def test_tcp_address_before_start_raises():
 
 
 # ---------------------------------------------------------------------------
+# TCP writer coalescing and reconnect hygiene (scripted connections)
+# ---------------------------------------------------------------------------
+class _ScriptedWriter:
+    """A StreamWriter stand-in that can fail specific drain() calls."""
+
+    def __init__(self, fail_on_drain=()):
+        self.chunks = []
+        self.drain_calls = 0
+        self._fail_on = set(fail_on_drain)
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    async def drain(self):
+        self.drain_calls += 1
+        if self.drain_calls in self._fail_on:
+            raise ConnectionResetError("scripted drop")
+
+    def close(self):
+        pass
+
+
+def test_tcp_burst_coalesces_into_one_write_and_drain(monkeypatch):
+    """A burst queued before the writer wakes must go out as ONE write
+    and ONE drain, not one flow-control round-trip per frame."""
+    writer = _ScriptedWriter()
+
+    async def fake_open(host, port):
+        return (None, writer)
+
+    monkeypatch.setattr(asyncio, "open_connection", fake_open)
+
+    async def scenario():
+        a = TcpMeshTransport("a")
+        a.set_peer("b", "127.0.0.1", 9)
+        frames = [encode_frame(i) for i in range(64)]
+        for frame in frames:
+            a.send("b", frame)
+        await _wait_for(lambda: a.stats.frames_sent == len(frames))
+        assert a.stats.writes <= 2  # the whole burst, coalesced
+        assert writer.drain_calls == a.stats.writes
+        assert b"".join(writer.chunks) == b"".join(frames)
+        assert a.stats.bytes_sent == sum(len(f) for f in frames)
+        await a.close()
+
+    _run(scenario())
+
+
+def test_tcp_backoff_resets_and_requeues_in_flight_batch(monkeypatch):
+    """Reconnect hygiene, pinned: (1) the backoff attempt counter resets
+    after a successful connect, so a later drop retries from the base
+    delay; (2) a batch in flight when the connection dies is re-queued
+    and re-sent — neither silently dropped nor double-counted."""
+    writer1 = _ScriptedWriter(fail_on_drain={2})  # dies on the second batch
+    writer2 = _ScriptedWriter()
+    script = iter([None, None, None, writer1, None, writer2])
+    delays = []
+    real_sleep = asyncio.sleep
+
+    async def fake_open(host, port):
+        item = next(script)
+        if item is None:
+            raise OSError("connection refused")
+        return (None, item)
+
+    async def recording_sleep(delay):
+        delays.append(delay)
+        await real_sleep(0)
+
+    monkeypatch.setattr(asyncio, "open_connection", fake_open)
+    monkeypatch.setattr(asyncio, "sleep", recording_sleep)
+
+    async def settle(predicate):
+        for _ in range(10_000):
+            if predicate():
+                return
+            await real_sleep(0)
+        raise AssertionError("condition not reached")
+
+    async def scenario():
+        a = TcpMeshTransport("a", backoff_base=0.01, backoff_cap=2.0)
+        a.set_peer("b", "127.0.0.1", 9)
+        first = encode_frame("first")
+        a.send("b", first)
+        await settle(lambda: a.stats.frames_sent == 1)
+        # three refused connects backed off exponentially before success
+        assert delays[:3] == [0.01, 0.02, 0.04]
+        assert a.stats.connect_failures == 3
+        assert a.stats.reconnects == 1
+        second = encode_frame("second")
+        a.send("b", second)  # writer1's drain dies with this in flight
+        await settle(lambda: a.stats.frames_sent == 2)
+        # the post-drop reconnect backed off from the BASE delay again:
+        # a successful connect reset the attempt counter (0.08 here would
+        # mean the pre-success failures still counted)
+        assert delays[3:] == [0.01]
+        assert a.stats.connect_failures == 4
+        assert a.stats.reconnects == 2
+        # the in-flight frame was re-sent on the new connection, once
+        assert writer2.chunks == [second]
+        assert a.stats.frames_sent == 2  # not double-counted
+        assert a.stats.bytes_sent == len(first) + len(second)
+        await a.close()
+
+    _run(scenario())
+
+
+# ---------------------------------------------------------------------------
 # UDP loopback
 # ---------------------------------------------------------------------------
 def test_udp_round_trip():
@@ -190,3 +300,59 @@ def test_udp_unroutable_peer_counted():
         assert a.stats.dropped_unroutable == 1
 
     _run(scenario())
+
+
+def test_udp_burst_packs_one_datagram_and_receiver_splits_it():
+    async def scenario():
+        a, b = UdpLoopbackTransport("a"), UdpLoopbackTransport("b")
+        got = []
+        b.on_frame = got.append
+        await a.start()
+        await b.start()
+        a.set_peer("b", *b.address)
+        frames = [encode_frame(("burst", i)) for i in range(10)]
+        for frame in frames:
+            a.send("b", frame)
+        await _wait_for(lambda: len(got) == len(frames))
+        await a.close()
+        await b.close()
+        assert got == frames  # split back into individual frames, in order
+        assert a.stats.writes == 1  # ...but shipped as one datagram
+        assert a.stats.frames_sent == len(frames)
+        assert b.stats.frames_received == len(frames)
+        assert b.stats.bytes_received == sum(len(f) for f in frames)
+
+    _run(scenario())
+
+
+def test_udp_coalescing_respects_datagram_size_bound():
+    async def scenario():
+        a, b = UdpLoopbackTransport("a"), UdpLoopbackTransport("b")
+        got = []
+        b.on_frame = got.append
+        await a.start()
+        await b.start()
+        a.set_peer("b", *b.address)
+        big = encode_frame("x" * (UDP_MAX_FRAME // 2))
+        a.send("b", big)
+        a.send("b", big)  # would overflow one datagram together
+        await _wait_for(lambda: len(got) == 2)
+        await a.close()
+        await b.close()
+        assert a.stats.writes == 2
+        assert a.stats.dropped_oversize == 0
+        assert got == [big, big]
+
+    _run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+def test_transport_registry_builds_backends_by_name():
+    assert "tcp" in available_transports()
+    assert "udp" in available_transports()
+    assert isinstance(create_transport("tcp", "n0"), TcpMeshTransport)
+    assert isinstance(create_transport("udp", "n0"), UdpLoopbackTransport)
+    with pytest.raises(ValueError, match="unknown transport"):
+        create_transport("carrier-pigeon", "n0")

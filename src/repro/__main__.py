@@ -121,13 +121,27 @@ def _cmd_chaos(args) -> int:
         print(f"reproduced       : {'yes' if reproduced else 'NO'}")
         return 0 if reproduced else 1
 
-    config = ChaosConfig(
-        n_servers=args.servers,
-        n_sessions=args.sessions,
-        duration=args.duration,
-        profile=args.profile,
-        plant=args.plant,
-    )
+    if args.live and args.workers > 1:
+        # live runs own real sockets and wall-clock pacing; sharding them
+        # across processes would just interleave their timing
+        print("chaos: --live requires --workers 1", file=sys.stderr)
+        return 2
+    try:
+        config = ChaosConfig(
+            n_servers=args.servers,
+            n_sessions=args.sessions,
+            duration=args.duration,
+            establish=args.establish,
+            settle=args.settle,
+            max_gap=args.max_gap,
+            profile=args.profile,
+            plant=args.plant,
+            mode="live" if args.live else "sim",
+            wan_profile=args.wan,
+        )
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
     report = explore(
         config,
         seed=args.seed,
@@ -166,6 +180,7 @@ def _cmd_cluster(args) -> int:
         settle=args.settle,
         transport=args.transport,
         profile=args.profile,
+        stats_json=args.stats_json,
     )
     report = run_live_cluster(options)
     text = json.dumps(report, indent=2, sort_keys=True)
@@ -210,6 +225,8 @@ def _cmd_serve(args) -> int:
             expect_members=args.expect_members,
             transport=args.transport,
             profile=args.profile,
+            stats_json=args.stats_json,
+            control=_parse_hostport(args.control) if args.control else None,
         )
     )
     print(json.dumps(status, indent=2, sort_keys=True))
@@ -279,8 +296,42 @@ def main(argv: list[str] | None = None) -> int:
     chaos.add_argument("--sessions", type=int, default=2)
     chaos.add_argument("--duration", type=float, default=20.0)
     chaos.add_argument(
+        "--establish",
+        type=float,
+        default=3.0,
+        help="run time between starting sessions and injecting faults",
+    )
+    chaos.add_argument(
+        "--settle",
+        type=float,
+        default=10.0,
+        help="run time after healing, before the oracles look",
+    )
+    chaos.add_argument(
+        "--max-gap",
+        type=float,
+        default=5.0,
+        help="longest response silence tolerated inside clean windows",
+    )
+    chaos.add_argument(
+        "--live",
+        action="store_true",
+        help="run each schedule against a real asyncio socket cluster "
+        "with fault-injecting transports (wall-clock seconds per run; "
+        "artifacts carry the ingress frame log for bit-exact --replay)",
+    )
+    chaos.add_argument(
+        "--wan",
+        default=None,
+        metavar="PROFILE",
+        help="live mode only: shape link latency from a WAN profile "
+        "(us-eu, global) and scale the GCS timings to match",
+    )
+    from repro.chaos.config import PLANTS
+
+    chaos.add_argument(
         "--plant",
-        choices=("handoff-stall",),
+        choices=PLANTS,
         default=None,
         help="deliberately weaken the implementation to validate the engine",
     )
@@ -329,6 +380,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write the audit report to FILE",
     )
+    cluster.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        default=None,
+        help="write every node's per-peer transport snapshot to FILE",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -360,6 +417,19 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="exit non-zero unless the final view has this many members",
+    )
+    serve.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        default=None,
+        help="write this node's per-peer transport snapshot to FILE",
+    )
+    serve.add_argument(
+        "--control",
+        metavar="HOST:PORT",
+        default=None,
+        help="open a JSON-lines fault control channel (wraps the "
+        "transport in a fault injector; see repro.net.faults)",
     )
 
     from repro.lint.cli import build_parser as build_lint_parser

@@ -14,6 +14,7 @@ from repro.chaos.artifact import load_artifact, write_artifact
 from repro.chaos.config import PLANTS, ChaosConfig
 from repro.chaos.engine import ExplorationReport, IterationOutcome, explore, replay
 from repro.chaos.generator import PROFILES, generate_schedule, resolve_profile
+from repro.chaos.live import LiveChaosCluster, replay_live, run_live_schedule
 from repro.chaos.oracles import ORACLES, RunObservation, Violation, run_oracles
 from repro.chaos.runner import RunResult, disruption_spans, run_schedule, trace_digest
 from repro.chaos.shrink import shrink_events
@@ -22,6 +23,7 @@ __all__ = [
     "ChaosConfig",
     "ExplorationReport",
     "IterationOutcome",
+    "LiveChaosCluster",
     "ORACLES",
     "PLANTS",
     "PROFILES",
@@ -33,8 +35,10 @@ __all__ = [
     "generate_schedule",
     "load_artifact",
     "replay",
+    "replay_live",
     "resolve_profile",
     "run_oracles",
+    "run_live_schedule",
     "run_schedule",
     "shrink_events",
     "trace_digest",

@@ -28,6 +28,9 @@ def write_artifact(
     profile: str,
     original_event_count: int,
     shrink_runs: int,
+    mode: str = "sim",
+    trace_digest: str | None = None,
+    replay_log: str | None = None,
 ) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -42,6 +45,15 @@ def write_artifact(
         "shrunk_event_count": len(schedule),
         "shrink_runs": shrink_runs,
     }
+    if mode != "sim":
+        # live artifacts additionally carry the recorded ingress frame
+        # log and the trace digest it must reproduce: `--replay` of a
+        # live failure is a pure-sim re-execution checked bit-for-bit
+        payload["mode"] = mode
+        if trace_digest is not None:
+            payload["trace_digest"] = trace_digest
+        if replay_log is not None:
+            payload["replay_log"] = replay_log
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
@@ -69,6 +81,9 @@ def load_artifact(path: str | Path) -> dict:
         "schedule": schedule,
         "violations": data.get("violations", []),
         "profile": data.get("profile"),
+        "mode": data.get("mode", "sim"),
+        "trace_digest": data.get("trace_digest"),
+        "replay_log": data.get("replay_log"),
     }
 
 

@@ -14,6 +14,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.core.config import AvailabilityPolicy
+from repro.gcs.settings import GcsSettings
 
 #: Named deliberate weakenings used to validate the chaos pipeline.
 #:
@@ -22,7 +23,16 @@ from repro.core.config import AvailabilityPolicy
 #: primary's context forever.  If the old primary dies before sending it
 #: (exactly what the ``pre-handoff`` crash hook provokes), the session
 #: goes silent — the responsiveness and convergence oracles both fire.
-PLANTS = ("handoff-stall",)
+#:
+#: ``partition-amnesia`` turns off ``GcsSettings.readmit_evicted``: each
+#: daemon permanently distrusts liveness evidence from members it once
+#: evicted, so after a partition heals the two sides keep discarding each
+#: other's heartbeats, the views never re-merge, and both primaries
+#: persist — the convergence oracle fires.  Unlike ``handoff-stall`` this
+#: plant needs real *partition* faults, which is exactly what makes it
+#: the validation plant for live-mode chaos (the fault-injecting
+#: transport is what made live partitions possible at all).
+PLANTS = ("handoff-stall", "partition-amnesia")
 
 
 @dataclass(frozen=True)
@@ -50,6 +60,15 @@ class ChaosConfig:
         stabilize_margin: padding added around every disruption when
             computing clean windows (failover + view-formation allowance).
         plant: optional planted bug name from :data:`PLANTS`.
+        mode: ``sim`` (default) runs the schedule in the simulator;
+            ``live`` runs it against a real asyncio socket cluster with
+            fault-injecting transports (``repro.chaos.live``).  Live runs
+            take wall-clock time — size ``duration``/``establish``/
+            ``settle`` accordingly.
+        wan_profile: optional :data:`repro.net.faults.WAN_PROFILES` name;
+            live mode shapes every link's base delay and jitter from the
+            profile's latency matrix and scales the GCS timing constants
+            by its ``settings_factor``.
     """
 
     n_servers: int = 4
@@ -62,6 +81,8 @@ class ChaosConfig:
     overlap_tolerance: float = 0.5
     stabilize_margin: float = 2.0
     plant: str | None = None
+    mode: str = "sim"
+    wan_profile: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 3:
@@ -72,6 +93,10 @@ class ChaosConfig:
             raise ValueError(f"unknown profile {self.profile!r}")
         if self.plant is not None and self.plant not in PLANTS:
             raise ValueError(f"unknown plant {self.plant!r} (valid: {PLANTS})")
+        if self.mode not in ("sim", "live"):
+            raise ValueError(f"unknown mode {self.mode!r} (valid: sim, live)")
+        if self.wan_profile is not None and self.mode != "live":
+            raise ValueError("wan_profile requires mode='live'")
 
     # ------------------------------------------------------------------
     # derived topology
@@ -117,6 +142,13 @@ class ChaosConfig:
             # the bug: successor waits (effectively) forever for a handoff
             policy.handoff_timeout = 1e9
         return policy
+
+    def apply_plant_settings(self, settings: GcsSettings) -> GcsSettings:
+        """Weaken the GCS settings when the plant lives at that layer
+        (identity for every other plant — and for no plant at all)."""
+        if self.plant == "partition-amnesia":
+            return dataclasses.replace(settings, readmit_evicted=False)
+        return settings
 
     # ------------------------------------------------------------------
     # persistence (repro artifacts embed the config)

@@ -121,17 +121,35 @@ def _explore_iteration(task: tuple) -> tuple[IterationOutcome, list[str]]:
         f"    shrunk {len(schedule)} -> {len(shrunk)} events "
         f"in {runs} re-runs (oracle: {target})"
     )
+    # The artifact must describe ONE actual failing execution — schedule,
+    # violations, and (live) frame log all from the same run.  Sim runs
+    # are deterministic so `final` always fails; a live re-run can come
+    # up clean (wall-clock variance), in which case the artifact keeps
+    # the original unshrunk failure rather than mixing the two.
+    if final.failed:
+        artifact_schedule, artifact_result = shrunk, final
+    else:
+        artifact_schedule, artifact_result = schedule, result
+        lines.append(
+            "    shrunk schedule did not fail on re-run; "
+            "persisting the original schedule"
+        )
     if artifact_dir is not None:
         path = Path(artifact_dir) / f"chaos-{seed}-{index}.json"
         write_artifact(
             path,
             config=config,
             seed=run_seed,
-            schedule=shrunk,
-            violations=final.violations or result.violations,
+            schedule=artifact_schedule,
+            violations=artifact_result.violations,
             profile=profile,
             original_event_count=len(schedule),
             shrink_runs=runs,
+            mode=artifact_result.mode,
+            trace_digest=(
+                artifact_result.digest if artifact_result.replay_log else None
+            ),
+            replay_log=artifact_result.replay_log,
         )
         outcome.artifact_path = str(path)
         lines.append(f"    artifact: {path}")
@@ -179,12 +197,32 @@ def replay(path: str | Path) -> tuple[RunResult, list[dict], bool]:
 
     Returns ``(result, recorded_violations, reproduced)`` where
     ``reproduced`` is true when every recorded oracle fired again.
+
+    Sim artifacts re-run from ``(config, seed, schedule)``.  Live
+    artifacts carry their recorded ingress frame log, so replay is a
+    pure-simulation re-execution — no sockets, no wall-clock — and
+    ``reproduced`` additionally requires the trace digest to match the
+    recorded one bit-for-bit.
     """
     artifact = load_artifact(path)
-    result = run_schedule(artifact["config"], artifact["seed"], artifact["schedule"])
+    if artifact.get("replay_log"):
+        from repro.chaos.live import replay_live
+
+        result = replay_live(
+            artifact["config"],
+            artifact["seed"],
+            artifact["schedule"],
+            artifact["replay_log"],
+        )
+    else:
+        result = run_schedule(
+            artifact["config"], artifact["seed"], artifact["schedule"]
+        )
     recorded = artifact["violations"]
     recorded_oracles = {v["oracle"] for v in recorded}
     reproduced = bool(recorded_oracles) and recorded_oracles <= result.oracle_names()
+    if artifact.get("trace_digest"):
+        reproduced = reproduced and result.digest == artifact["trace_digest"]
     return result, recorded, reproduced
 
 

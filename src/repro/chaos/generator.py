@@ -119,6 +119,25 @@ def _partition_layers(rng: np.random.Generator, config: ChaosConfig) -> FaultSch
                 spare=config.spare,
             )
         )
+    if getattr(config, "mode", "sim") == "live" and len(faultable) >= 2:
+        # live-only layer: an *asymmetric* link cut (A hears B, B does not
+        # hear A) — the non-transitive failure mode the fault-injecting
+        # transport exists to exercise, and one the simulated topology's
+        # partition layer cannot express.  Gated on live mode so the sim
+        # generator's RNG stream (and every recorded digest) is unchanged.
+        if rng.random() < 0.6:
+            a, b = (
+                str(s) for s in rng.choice(faultable, size=2, replace=False)
+            )
+            cut_at = float(rng.uniform(0.1, 0.6) * config.duration)
+            heal_at = min(
+                config.duration, cut_at + float(rng.uniform(0.5, 2.0))
+            )
+            schedule = schedule.merged(
+                FaultSchedule()
+                .cut_link(cut_at, a, b, symmetric=False)
+                .restore_link(heal_at, a, b, symmetric=False)
+            )
     return schedule
 
 

@@ -19,6 +19,7 @@ from repro.chaos.oracles import RunObservation, Violation, run_oracles
 from repro.core.service import ServiceCluster
 from repro.faults.injector import inject
 from repro.faults.schedule import FaultSchedule
+from repro.gcs.settings import GcsSettings
 from repro.metrics.windows import (
     Interval,
     merge_intervals,
@@ -41,6 +42,11 @@ class RunResult:
     responses: int = 0
     updates: int = 0
     end_time: float = 0.0
+    mode: str = "sim"
+    #: live runs only: the serialized ingress frame log
+    #: (:meth:`repro.net.replay.IngressLog.to_blob`) that lets
+    #: ``--replay`` reproduce the run bit-for-bit without sockets
+    replay_log: str | None = None
 
     @property
     def failed(self) -> bool:
@@ -156,7 +162,17 @@ def run_schedule(
 ):
     """Execute one chaos run; returns a :class:`RunResult` (and the final
     :class:`RunObservation` when ``keep_cluster`` is set, for debugging).
+
+    ``config.mode == "live"`` dispatches to :mod:`repro.chaos.live`,
+    which runs the identical schedule/oracle pipeline against a real
+    asyncio socket cluster wrapped in fault-injecting transports.
     """
+    if getattr(config, "mode", "sim") == "live":
+        # local import: repro.chaos.live imports this module for the
+        # shared windows/digest/oracle helpers
+        from repro.chaos.live import run_live_schedule
+
+        return run_live_schedule(config, seed, schedule, keep_cluster=keep_cluster)
     movies = {
         unit: build_movie(unit, duration_seconds=600.0, frame_rate=10.0)
         for unit in config.unit_ids
@@ -167,6 +183,7 @@ def run_schedule(
         units={unit: app for unit in movies},
         replication=config.n_servers,
         policy=config.build_policy(),
+        settings=config.apply_plant_settings(GcsSettings()),
         seed=seed,
     )
     cluster.settle()

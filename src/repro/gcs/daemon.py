@@ -112,6 +112,11 @@ class GcsDaemon(Process):
         # heartbeat (traffic suppresses them, but view-id/incarnation
         # reporting must not starve — see heartbeat_refresh_factor)
         self._last_hb_sent: dict[NodeId, float] = {}
+        # members removed by an installed view since this incarnation
+        # booted; only consulted when settings.readmit_evicted is off
+        # (the "partition-amnesia" chaos plant)
+        self._evicted: set[NodeId] = set()
+        self._amnesia_traced: set[NodeId] = set()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -138,6 +143,8 @@ class GcsDaemon(Process):
         self._batch = []
         self._batch_timer = None
         self._last_hb_sent.clear()
+        self._evicted.clear()
+        self._amnesia_traced.clear()
         self._my_groups_intent.clear()
         self._last_group_view.clear()
         self._client_acks_pending.clear()
@@ -616,8 +623,11 @@ class GcsDaemon(Process):
             if message.seq >= self.holdback.delivered_upto:
                 self._deliver(message)
         # 2. Switch to the new configuration.
+        previous_members = set(self.config.members)
         self.config = Configuration.make(install.view_id, install.members)
         self._config_installed_at = self.sim.now
+        self._evicted |= previous_members - set(install.members) - {self.node_id}
+        self._evicted -= set(install.members)
         # Incarnations come from the members' own sync replies — the only
         # authoritative source (the failure detector may not have heard a
         # restarted member's first new-incarnation heartbeat yet).
@@ -724,10 +734,23 @@ class GcsDaemon(Process):
     # ------------------------------------------------------------------
     def on_message(self, message: Message) -> None:
         payload = message.payload
-        if isinstance(payload, Heartbeat):
+        readmitting = self.settings.readmit_evicted
+        if not readmitting and message.sender in self._evicted:
+            # The "partition-amnesia" plant: liveness evidence from a
+            # member this daemon once evicted is discarded, so a healed
+            # partition never re-merges.  Correct configurations always
+            # run with readmit_evicted=True, which skips this branch.
+            if message.sender not in self._amnesia_traced:
+                self._amnesia_traced.add(message.sender)
+                self.trace("gcs.evicted_liveness_ignored", peer=message.sender)
+            if isinstance(payload, Heartbeat):
+                return
+        elif isinstance(payload, Heartbeat):
             self.fd.on_heartbeat(payload)
             return
-        if self.settings.piggyback_liveness:
+        if self.settings.piggyback_liveness and (
+            readmitting or message.sender not in self._evicted
+        ):
             # Any protocol message is liveness evidence for its sender
             # (delivery metadata carries the sender), which is what lets
             # the sender suppress explicit heartbeats on busy links.

@@ -49,6 +49,14 @@ class GcsSettings:
         holdback_keep: delivered messages the holdback buffer retains for
             NACK retransmission; a peer lagging further than this can no
             longer be repaired in place and is resynced via a view change.
+        readmit_evicted: accept liveness evidence (heartbeats, piggybacked
+            traffic) from members this daemon has evicted from a past
+            configuration.  **Must stay True for correctness** — turning
+            it off reproduces the "partition amnesia" bug class: after a
+            partition heals, each side keeps discarding the other side's
+            heartbeats, the components never re-merge, and both primaries
+            persist forever.  Exists only as a chaos-engine plant
+            (``ChaosConfig.plant = "partition-amnesia"``).
     """
 
     heartbeat_interval: float = 0.1
@@ -64,6 +72,7 @@ class GcsSettings:
     piggyback_liveness: bool = True
     heartbeat_refresh_factor: int = 4
     holdback_keep: int = 4096
+    readmit_evicted: bool = True
 
     @property
     def batching_enabled(self) -> bool:
@@ -110,6 +119,7 @@ class GcsSettings:
             piggyback_liveness=self.piggyback_liveness,
             heartbeat_refresh_factor=self.heartbeat_refresh_factor,
             holdback_keep=self.holdback_keep,
+            readmit_evicted=self.readmit_evicted,
         )
 
 

@@ -16,7 +16,13 @@ them:
   ``send``/``multicast``/``set_timer`` keep their exact sim semantics;
 * :mod:`repro.net.cluster` — the in-process live cluster the
   ``python -m repro cluster`` CLI drives (scripted VoD workload,
-  kill/restart mid-run, session-audit report).
+  kill/restart mid-run, session-audit report);
+* :mod:`repro.net.faults` — a fault-injecting transport wrapper
+  (sever/delay/duplicate/reorder real links, WAN latency profiles, a
+  JSON-lines runtime control channel) that gives live clusters the same
+  fault vocabulary as the simulated topology;
+* :mod:`repro.net.replay` — the ingress frame log and null transport
+  that make a recorded live run bit-reproducible in pure simulation.
 """
 
 from repro.net.codec import (
@@ -30,13 +36,31 @@ from repro.net.codec import (
     frame_size,
     registered_types,
 )
+from repro.net.faults import (
+    WAN_PROFILES,
+    FaultControlServer,
+    FaultPlane,
+    FaultyTransport,
+    WanProfile,
+    wan_profile,
+)
+from repro.net.replay import IngressLog, IngressRecord, ReplayTransport
 from repro.net.runtime import LiveNetwork, LiveRuntime
 
 __all__ = [
     "CodecError",
+    "FaultControlServer",
+    "FaultPlane",
+    "FaultyTransport",
     "FrameDecoder",
+    "IngressLog",
+    "IngressRecord",
     "LiveNetwork",
     "LiveRuntime",
+    "ReplayTransport",
+    "WAN_PROFILES",
+    "WanProfile",
+    "wan_profile",
     "TruncatedFrameError",
     "UnknownTypeError",
     "WireEnvelope",

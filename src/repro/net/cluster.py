@@ -22,7 +22,9 @@ multi-OS-process deployments; peers are named on the command line.
 from __future__ import annotations
 
 import asyncio
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from repro.core.client import ServiceClient, SessionHandle
@@ -38,6 +40,7 @@ from repro.metrics.session_audit import (
     multi_primary_time,
     propagation_byte_calibration,
 )
+from repro.net.faults import FaultControlServer, FaultPlane, FaultyTransport
 from repro.net.runtime import LiveNetwork, LiveRuntime
 from repro.net.transport import MeshTransport, create_transport
 from repro.services.content import build_movie
@@ -71,6 +74,7 @@ class LiveClusterOptions:
     num_backups: int = 1
     transport: str | None = None
     profile: str = "live_lan"
+    stats_json: str | None = None
 
 
 def resolve_profile(name: str) -> GcsSettings:
@@ -328,6 +332,7 @@ def build_report(cluster: LiveCluster, plan: WorkloadPlan) -> dict[str, Any]:
             "writes": transport.stats.writes,
             "dropped_oldest": transport.stats.dropped_oldest,
             "dropped_oversize": transport.stats.dropped_oversize,
+            "oversize_frames": transport.stats.oversize_frames,
             "reconnects": transport.stats.reconnects,
         }
         for node, transport in sorted(cluster.transports.items())
@@ -374,12 +379,27 @@ def build_report(cluster: LiveCluster, plan: WorkloadPlan) -> dict[str, Any]:
     return report
 
 
+def _dump_stats(path: str | None, transports: dict[str, MeshTransport]) -> None:
+    """Write every transport's full per-peer snapshot as one JSON file."""
+    if path is None:
+        return
+    payload = {
+        str(node): transport.stats_snapshot()
+        for node, transport in sorted(transports.items(), key=lambda kv: str(kv[0]))
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 async def _run_cluster(options: LiveClusterOptions) -> dict[str, Any]:
     cluster = await build_live_cluster(options)
     try:
         plan = schedule_workload(cluster, options)
         await cluster.runtime.run(plan.duration)
-        return build_report(cluster, plan)
+        report = build_report(cluster, plan)
+        _dump_stats(options.stats_json, cluster.transports)
+        return report
     finally:
         await cluster.close()
 
@@ -394,7 +414,14 @@ def run_live_cluster(options: LiveClusterOptions) -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 @dataclass(slots=True)
 class ServeOptions:
-    """One server node of a multi-process TCP deployment."""
+    """One server node of a multi-process TCP deployment.
+
+    ``control`` opens a JSON-lines fault control channel on the given
+    ``(host, port)``: the node's transport is wrapped in a
+    :class:`~repro.net.faults.FaultyTransport` and an external harness
+    can sever/delay/perturb its links at runtime (``repro.net.faults``
+    documents the command vocabulary).
+    """
 
     node_id: str
     listen: tuple[str, int]
@@ -405,6 +432,8 @@ class ServeOptions:
     max_tick: float = 0.05
     transport: str = "tcp"
     profile: str = "default"
+    stats_json: str | None = None
+    control: tuple[str, int] | None = None
 
 
 async def _serve(options: ServeOptions) -> dict[str, Any]:
@@ -412,6 +441,14 @@ async def _serve(options: ServeOptions) -> dict[str, Any]:
     trace = TraceLog(enabled=False)
     runtime = LiveRuntime(sim, max_tick=options.max_tick)
     transport = create_transport(options.transport, options.node_id)
+    control_server: FaultControlServer | None = None
+    if options.control is not None:
+        if not isinstance(transport, FaultyTransport):
+            transport = FaultyTransport(transport)
+        plane = FaultPlane()
+        plane.adopt(options.node_id, transport)
+        control_server = FaultControlServer(plane)
+        await control_server.start(*options.control)
     await transport.start(*options.listen)
     network = LiveNetwork(sim, transport, trace=trace, wake=runtime.wake)
     for peer, (host, port) in options.peers.items():
@@ -434,16 +471,23 @@ async def _serve(options: ServeOptions) -> dict[str, Any]:
     server.start()
     try:
         await runtime.run(options.duration)
+        _dump_stats(options.stats_json, {options.node_id: transport})
     finally:
         await transport.close()
+        if control_server is not None:
+            await control_server.close()
     members = sorted(str(member) for member in server.daemon.config.members)
-    return {
+    report: dict[str, Any] = {
         "node": options.node_id,
         "members": members,
         "view": str(server.daemon.config.view_id),
         "frames_sent": transport.stats.frames_sent,
         "frames_received": transport.stats.frames_received,
     }
+    if control_server is not None and control_server.address is not None:
+        host, port = control_server.address
+        report["control"] = f"{host}:{port}"
+    return report
 
 
 def run_single_node(options: ServeOptions) -> dict[str, Any]:

@@ -19,9 +19,19 @@ Two pieces make the simulator's process model run live:
   they say, while every handler still executes inside the deterministic
   event loop with a consistent ``sim.now``.
 
-What this does **not** give: the single-process loopback cluster cannot
-partition, lose, or reorder — the adversity vocabulary stays with the
-simulator (see DESIGN.md §11).
+Adversity on the live wire comes from :mod:`repro.net.faults`: wrapping
+the transport in a :class:`~repro.net.faults.FaultyTransport` lets the
+chaos engine partition, delay, drop, duplicate, and reorder real socket
+traffic (DESIGN.md §13 — this retired the old §11 caveat that loopback
+could not partition).
+
+Ingress is two-phase for replayability: the socket callback only
+*schedules* the frame (capturing its ``(time, seq)`` heap coordinates,
+optionally into an :class:`~repro.net.replay.IngressLog`) and all
+decoding happens inside the event.  Since the arrival schedule is the
+single wall-clock input to an otherwise deterministic event loop, a
+recorded log replayed through ``Simulator.inject_at`` reproduces the
+run bit-for-bit (see DESIGN.md §13).
 """
 
 from __future__ import annotations
@@ -44,6 +54,11 @@ from repro.sim.network import Message, Network
 from repro.sim.topology import NodeId, Topology
 from repro.sim.trace import TraceLog
 
+#: Callback invoked for every ingress frame with its scheduled heap
+#: coordinates: ``(node, event_time, event_seq, raw_frame)``.  The live
+#: chaos runner installs :meth:`repro.net.replay.IngressLog.record` here.
+IngressRecorder = Callable[[NodeId, float, int, bytes], None]
+
 
 class LiveNetwork(Network):
     """A per-node :class:`Network` whose remote links are real sockets.
@@ -60,6 +75,8 @@ class LiveNetwork(Network):
         transport: MeshTransport,
         trace: TraceLog | None = None,
         wake: Callable[[], None] | None = None,
+        node_id: NodeId = "?",
+        recorder: "IngressRecorder | None" = None,
     ) -> None:
         super().__init__(
             sim, Topology(), FixedLatency(0.0), trace=trace
@@ -67,6 +84,8 @@ class LiveNetwork(Network):
         self.transport = transport
         transport.on_frame = self._ingress
         self._wake = wake if wake is not None else lambda: None
+        self.node_id = node_id
+        self.recorder = recorder
         self.frames_rejected = 0
         #: actual encoded bytes per message kind, both directions — the
         #: calibration source for the abstract ``size`` estimates
@@ -144,7 +163,26 @@ class LiveNetwork(Network):
     # inbound
     # ------------------------------------------------------------------
     def _ingress(self, data: bytes) -> None:
-        """One raw frame off the socket: decode, schedule, wake the pacer."""
+        """One raw frame off the socket: schedule it, wake the pacer.
+
+        This callback is the only place wall-clock timing enters the
+        event loop, so it does the *minimum*: capture the frame's heap
+        coordinates (recording them when a recorder is installed) and
+        defer everything else — decoding, accounting, delivery — into
+        the scheduled event, where replay can reproduce it exactly.
+        """
+        event = self.sim.schedule(
+            0.0, lambda: self._ingest(data), label="live:frame"
+        )
+        if self.recorder is not None:
+            self.recorder(self.node_id, event.time, event.seq, data)
+        self._wake()
+
+    def _ingest(self, data: bytes) -> None:
+        """Decode and deliver one raw frame (runs inside the event loop,
+        so handlers always see a consistent ``sim.now``; the unknown
+        remote sender is "connected" by the topology's default-component
+        rule)."""
         try:
             envelope = decode_frame(data)
         except CodecError:
@@ -173,11 +211,7 @@ class LiveNetwork(Network):
             send_time=self.sim.now,
             msg_id=next(self._msg_ids),
         )
-        # deliver inside the paced event loop so handlers always run with
-        # a consistent sim.now (the unknown remote sender is "connected"
-        # by the topology's default-component rule)
-        self.sim.schedule(0.0, lambda: self._deliver(message), label=f"live:{kind}")
-        self._wake()
+        self._deliver(message)
 
 
 class LiveRuntime:
@@ -243,4 +277,4 @@ class LiveRuntime:
                 pass
 
 
-__all__ = ["LiveNetwork", "LiveRuntime"]
+__all__ = ["IngressRecorder", "LiveNetwork", "LiveRuntime"]

@@ -11,8 +11,11 @@ Two interchangeable transports move opaque frames (produced by
   does from loss in the simulator).  Backoff is deterministic — no
   jitter — so live runs stay as reproducible as the sockets allow.
 * :class:`UdpLoopbackTransport` — one datagram socket per node on
-  127.0.0.1.  Oversized frames are dropped and counted (a real UDP path
-  would have fragmented or dropped them too).
+  127.0.0.1.  A single frame larger than the coalescing bound is sent
+  *standalone* in its own datagram (never spliced into a packed batch)
+  and counted in ``oversize_frames``; loopback's 64kB MTU usually
+  carries it, and if the kernel refuses the send the drop is counted
+  via ``error_received``.
 
 Both transports *coalesce*: the TCP writer drains its whole queue into
 one writev-style payload per wakeup (one ``write``, one ``drain``), and
@@ -41,8 +44,9 @@ runtime: ``create_transport("tcp", node_id)``.
 from __future__ import annotations
 
 import asyncio
+import errno
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Protocol
 
 from repro.net.codec import CodecError, split_frames
@@ -73,14 +77,21 @@ class TransportStats:
     dropped_oldest: int = 0
     dropped_oversize: int = 0
     dropped_unroutable: int = 0
+    oversize_frames: int = 0
     reconnects: int = 0
     connect_failures: int = 0
+    requeued_batches: int = 0
+    requeued_frames: int = 0
     dropped_by_peer: dict[str, int] = field(default_factory=dict)
 
     def note_oldest_drop(self, peer: NodeId) -> None:
         self.dropped_oldest += 1
         key = str(peer)
         self.dropped_by_peer[key] = self.dropped_by_peer.get(key, 0) + 1
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready copy of every counter (for ``--stats-json``)."""
+        return dict(asdict(self))
 
 
 class MeshTransport(Protocol):
@@ -99,6 +110,8 @@ class MeshTransport(Protocol):
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]: ...
 
     async def close(self) -> None: ...
+
+    def stats_snapshot(self) -> dict[str, object]: ...
 
 
 # ---------------------------------------------------------------------------
@@ -135,15 +148,33 @@ def available_transports() -> tuple[str, ...]:
 # TCP mesh
 # ---------------------------------------------------------------------------
 class _PeerChannel:
-    """Outbound state for one peer: queue, writer task, backoff."""
+    """Outbound state for one peer: queue, writer task, backoff.
 
-    __slots__ = ("addr", "queue", "task", "ready")
+    Carries its own counters so :meth:`TcpMeshTransport.stats_snapshot`
+    can attribute reconnect churn and requeues to the peer that caused
+    them (the global :class:`TransportStats` only sees totals).
+    """
+
+    __slots__ = (
+        "addr",
+        "queue",
+        "task",
+        "ready",
+        "reconnects",
+        "connect_failures",
+        "requeued_batches",
+        "requeued_frames",
+    )
 
     def __init__(self, addr: tuple[str, int]) -> None:
         self.addr = addr
         self.queue: deque[bytes] = deque()
         self.task: asyncio.Task[None] | None = None
         self.ready = asyncio.Event()
+        self.reconnects = 0
+        self.connect_failures = 0
+        self.requeued_batches = 0
+        self.requeued_frames = 0
 
 
 class TcpMeshTransport:
@@ -242,12 +273,14 @@ class TcpMeshTransport:
                 reader, writer = await asyncio.open_connection(*channel.addr)
             except OSError:
                 self.stats.connect_failures += 1
+                channel.connect_failures += 1
                 delay = min(self.backoff_base * (2**attempt), self.backoff_cap)
                 attempt += 1
                 await asyncio.sleep(delay)
                 continue
             if attempt > 0:
                 self.stats.reconnects += 1
+                channel.reconnects += 1
             attempt = 0
             batch: list[bytes] = []
             try:
@@ -268,10 +301,38 @@ class TcpMeshTransport:
             except (OSError, ConnectionError):
                 # the in-flight batch was never counted as sent; put it
                 # back ahead of newer frames and reconnect
-                channel.queue.extendleft(reversed(batch))
+                if batch:
+                    channel.queue.extendleft(reversed(batch))
+                    self.stats.requeued_batches += 1
+                    self.stats.requeued_frames += len(batch)
+                    channel.requeued_batches += 1
+                    channel.requeued_frames += len(batch)
                 continue
             finally:
                 writer.close()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict[str, object]:
+        """Global counters plus per-peer channel state (``--stats-json``)."""
+        peers: dict[str, object] = {}
+        for peer in sorted(self._peers, key=str):
+            channel = self._peers[peer]
+            peers[str(peer)] = {
+                "queue_depth": len(channel.queue),
+                "dropped_oldest": self.stats.dropped_by_peer.get(str(peer), 0),
+                "reconnects": channel.reconnects,
+                "connect_failures": channel.connect_failures,
+                "requeued_batches": channel.requeued_batches,
+                "requeued_frames": channel.requeued_frames,
+            }
+        return {
+            "transport": "tcp",
+            "node": str(self.node_id),
+            "stats": self.stats.as_dict(),
+            "peers": peers,
+        }
 
     # ------------------------------------------------------------------
     # receiving
@@ -316,6 +377,12 @@ class _UdpBridge(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr: tuple[str, int]) -> None:
         self._owner.handle_datagram(data)
 
+    def error_received(self, exc: Exception) -> None:
+        # asyncio swallows per-send OSErrors (e.g. EMSGSIZE for a
+        # standalone oversize frame the kernel refuses) and reports
+        # them here instead of raising from sendto().
+        self._owner.handle_send_error(exc)
+
 
 class UdpLoopbackTransport:
     """Datagram transport for in-process clusters.
@@ -325,8 +392,12 @@ class UdpLoopbackTransport:
     event-loop turn are packed into a single datagram (flushed via
     ``call_soon``, so coalescing never delays a frame past the current
     turn); the receive side splits packed datagrams on the length
-    prefixes.  Frames above :data:`UDP_MAX_FRAME` are dropped with a
-    counter, as they would not survive a real datagram path.
+    prefixes.  A frame above :data:`UDP_MAX_FRAME` — the *coalescing*
+    bound, not the loopback MTU — is flushed around and sent standalone
+    in its own datagram, counted in ``oversize_frames``; loopback's
+    64kB MTU carries payloads up to ~65507 bytes, and anything the
+    kernel still refuses surfaces through ``error_received`` and is
+    counted as ``dropped_oversize``.
     """
 
     def __init__(self, node_id: NodeId) -> None:
@@ -362,11 +433,21 @@ class UdpLoopbackTransport:
     def send(self, peer: NodeId, frame: bytes) -> None:
         if self._closed or self._transport is None:
             return
-        if peer not in self._peers:
+        addr = self._peers.get(peer)
+        if addr is None:
             self.stats.dropped_unroutable += 1
             return
         if len(frame) > UDP_MAX_FRAME:
-            self.stats.dropped_oversize += 1
+            # Too big to coalesce: flush whatever is already pending for
+            # this peer first (preserving send order), then ship the
+            # frame standalone in its own datagram.
+            if peer in self._pending:
+                self._flush(peer)
+            self._transport.sendto(frame, addr)
+            self.stats.oversize_frames += 1
+            self.stats.writes += 1
+            self.stats.frames_sent += 1
+            self.stats.bytes_sent += len(frame)
             return
         pending = self._pending.get(peer)
         if pending is not None and self._pending_size[peer] + len(frame) > UDP_MAX_FRAME:
@@ -416,6 +497,26 @@ class UdpLoopbackTransport:
             self.stats.frames_received += 1
             if self.on_frame is not None:
                 self.on_frame(frame)
+
+    def handle_send_error(self, exc: Exception) -> None:
+        """A queued datagram the kernel refused (via ``error_received``)."""
+        if isinstance(exc, OSError) and exc.errno == errno.EMSGSIZE:
+            self.stats.dropped_oversize += 1
+
+    def stats_snapshot(self) -> dict[str, object]:
+        """Global counters plus per-peer pending state (``--stats-json``)."""
+        peers: dict[str, object] = {}
+        for peer in sorted(self._peers, key=str):
+            peers[str(peer)] = {
+                "pending_frames": len(self._pending.get(peer, ())),
+                "pending_bytes": self._pending_size.get(peer, 0),
+            }
+        return {
+            "transport": "udp",
+            "node": str(self.node_id),
+            "stats": self.stats.as_dict(),
+            "peers": peers,
+        }
 
     async def close(self) -> None:
         for peer in list(self._pending):

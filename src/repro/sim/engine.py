@@ -29,7 +29,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable, Iterator
 
 #: Compaction trigger: rebuild the heap once more than half of at least
 #: this many entries are cancelled.  The floor keeps tiny queues from
@@ -107,7 +107,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._queue: list[tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+        self._seq: Iterator[int] = itertools.count()
         self._now = 0.0
         self._executed = 0
         self._running = False
@@ -164,6 +164,61 @@ class Simulator:
         heapq.heappush(self._queue, (time, seq, event))
         self._live += 1
         return event
+
+    def inject_at(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at ``time`` with an *explicit* sequence
+        number instead of the next counter value.
+
+        This is the replay primitive of the live runtime: a recorded run
+        logs the ``(time, seq)`` of every ingress frame event, and replay
+        re-injects each frame at its recorded coordinates (after
+        :meth:`reserve_seqs` has fenced those numbers off from normal
+        allocation), reproducing the exact heap order of the original
+        execution.  The caller owns seq uniqueness — colliding with a
+        live event's seq at the same time would make heap order compare
+        the Event objects themselves.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot inject at t={time} before now={self._now}"
+            )
+        event = Event(time, seq, callback, label, self)
+        heapq.heappush(self._queue, (time, seq, event))
+        self._live += 1
+        return event
+
+    def reserve_seqs(self, seqs: Iterable[int]) -> None:
+        """Fence the given sequence numbers off from normal allocation.
+
+        After this call, :meth:`schedule`/:meth:`schedule_at` skip every
+        reserved value, leaving them for :meth:`inject_at`.  Must be
+        called before any events are scheduled past the smallest reserved
+        value — reserving an already-issued seq raises.
+        """
+        reserved = frozenset(seqs)
+        if not reserved:
+            return
+        counter = self._seq
+        probe = next(counter)
+        if any(seq < probe for seq in reserved):
+            raise SimulationError(
+                f"cannot reserve already-issued seqs (next={probe})"
+            )
+
+        def skipping(first: int) -> Iterator[int]:
+            value = first
+            while True:
+                if value not in reserved:
+                    yield value
+                value = next(counter)
+
+        self._seq = skipping(probe)
 
     def _note_cancelled(self) -> None:
         """Account for one cancellation; compact when dead weight piles up."""

@@ -114,6 +114,9 @@ def test_live_network_rejects_garbage_frames():
         network = LiveNetwork(sim, transport)
         network._ingress(b"\x00\x00\x00\x01\x63")  # bad version
         network._ingress(encode_frame("not an envelope"))
+        # ingress only schedules; decoding (and rejection) happens
+        # inside the event loop
+        sim.run_until(0.0)
         await transport.close()
         assert network.frames_rejected == 2
 

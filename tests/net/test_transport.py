@@ -252,6 +252,79 @@ def test_tcp_backoff_resets_and_requeues_in_flight_batch(monkeypatch):
     _run(scenario())
 
 
+def test_tcp_multiple_consecutive_losses_requeue_and_reset_backoff(monkeypatch):
+    """Reconnect hygiene across SEVERAL consecutive connection losses:
+    every cycle re-queues its in-flight batch in order and restarts the
+    backoff from the base delay (a single-loss test cannot tell a
+    correctly reset counter from one that was simply never incremented
+    twice)."""
+    writer1 = _ScriptedWriter(fail_on_drain={2})  # dies on its second batch
+    writer2 = _ScriptedWriter(fail_on_drain={2})  # ... and so does its successor
+    writer3 = _ScriptedWriter()
+    script = iter([writer1, None, writer2, None, None, writer3])
+    delays = []
+    real_sleep = asyncio.sleep
+
+    async def fake_open(host, port):
+        item = next(script)
+        if item is None:
+            raise OSError("connection refused")
+        return (None, item)
+
+    async def recording_sleep(delay):
+        delays.append(delay)
+        await real_sleep(0)
+
+    monkeypatch.setattr(asyncio, "open_connection", fake_open)
+    monkeypatch.setattr(asyncio, "sleep", recording_sleep)
+
+    async def settle(predicate):
+        for _ in range(10_000):
+            if predicate():
+                return
+            await real_sleep(0)
+        raise AssertionError("condition not reached")
+
+    async def scenario():
+        a = TcpMeshTransport("a", backoff_base=0.01, backoff_cap=2.0)
+        a.set_peer("b", "127.0.0.1", 9)
+        f1, f2, f3, f4 = (encode_frame(f"frame-{i}") for i in range(4))
+        a.send("b", f1)
+        await settle(lambda: a.stats.frames_sent == 1)
+        # cycle 1: a two-frame batch dies in flight on writer1
+        a.send("b", f2)
+        a.send("b", f3)
+        await settle(lambda: a.stats.frames_sent == 3)
+        # one refused connect, backed off from the BASE delay (reset
+        # after writer1's successful connect)
+        assert delays == [0.01]
+        # the whole batch was re-queued in order and re-sent as one write
+        assert writer2.chunks == [f2 + f3]
+        # cycle 2: a single-frame batch dies in flight on writer2
+        a.send("b", f4)
+        await settle(lambda: a.stats.frames_sent == 4)
+        # two refused connects this cycle — and again from the base
+        # delay, not continuing cycle 1's progression
+        assert delays[1:] == [0.01, 0.02]
+        assert writer3.chunks == [f4]
+        assert a.stats.reconnects == 2
+        assert a.stats.connect_failures == 3
+        assert a.stats.requeued_batches == 2
+        assert a.stats.requeued_frames == 3  # [f2, f3] then [f4]
+        assert a.stats.frames_sent == 4  # never double-counted
+        # the per-peer snapshot attributes all of it to peer "b"
+        snapshot = a.stats_snapshot()
+        peer = snapshot["peers"]["b"]
+        assert peer["reconnects"] == 2
+        assert peer["connect_failures"] == 3
+        assert peer["requeued_batches"] == 2
+        assert peer["requeued_frames"] == 3
+        assert peer["queue_depth"] == 0
+        await a.close()
+
+    _run(scenario())
+
+
 # ---------------------------------------------------------------------------
 # UDP loopback
 # ---------------------------------------------------------------------------
@@ -274,18 +347,75 @@ def test_udp_round_trip():
     _run(scenario())
 
 
-def test_udp_oversize_frame_dropped():
+def test_udp_oversize_frame_sent_standalone():
+    # A frame above the coalescing bound goes out in its own datagram
+    # (loopback's 64kB MTU carries it) instead of corrupting a batch.
     async def scenario():
         a, b = UdpLoopbackTransport("a"), UdpLoopbackTransport("b")
+        got = []
+        b.on_frame = got.append
         await a.start()
         await b.start()
         a.set_peer("b", *b.address)
-        a.send("b", encode_frame("x" * (UDP_MAX_FRAME + 1)))
-        await asyncio.sleep(0.02)
+        big = encode_frame("x" * (UDP_MAX_FRAME + 1))
+        a.send("b", big)
+        await _wait_for(lambda: got)
         await a.close()
         await b.close()
-        assert a.stats.dropped_oversize == 1
-        assert a.stats.frames_sent == 0
+        assert got == [big]
+        assert a.stats.oversize_frames == 1
+        assert a.stats.dropped_oversize == 0
+        assert a.stats.frames_sent == 1
+        assert a.stats.writes == 1
+        assert b.stats.frames_received == 1
+
+    _run(scenario())
+
+
+def test_udp_oversize_flushes_pending_batch_first():
+    # Frames already coalescing for the peer must go out *before* the
+    # oversize frame so send order is preserved on the wire.
+    async def scenario():
+        a, b = UdpLoopbackTransport("a"), UdpLoopbackTransport("b")
+        got = []
+        b.on_frame = got.append
+        await a.start()
+        await b.start()
+        a.set_peer("b", *b.address)
+        small = [encode_frame(("s", i)) for i in range(3)]
+        big = encode_frame("y" * (UDP_MAX_FRAME + 1))
+        for frame in small:
+            a.send("b", frame)  # queued for this turn's coalesced flush
+        a.send("b", big)  # must flush the batch, then go standalone
+        await _wait_for(lambda: len(got) == 4)
+        await a.close()
+        await b.close()
+        assert got == small + [big]
+        assert a.stats.oversize_frames == 1
+        assert a.stats.frames_sent == 4
+        assert a.stats.writes == 2  # one packed datagram + one standalone
+
+    _run(scenario())
+
+
+def test_udp_frame_beyond_loopback_mtu_counted_dropped():
+    # ~65507 bytes is the absolute UDP payload ceiling; past it the
+    # kernel refuses the datagram and asyncio reports EMSGSIZE through
+    # error_received, which the transport counts as an oversize drop.
+    async def scenario():
+        a, b = UdpLoopbackTransport("a"), UdpLoopbackTransport("b")
+        got = []
+        b.on_frame = got.append
+        await a.start()
+        await b.start()
+        a.set_peer("b", *b.address)
+        a.send("b", encode_frame("z" * 70_000))
+        await asyncio.sleep(0.05)
+        await a.close()
+        await b.close()
+        assert got == []
+        assert a.stats.oversize_frames == 1  # we did attempt the send
+        assert a.stats.dropped_oversize == 1  # ... and the kernel refused
         assert b.stats.frames_received == 0
 
     _run(scenario())

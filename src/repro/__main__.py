@@ -138,6 +138,7 @@ def _cmd_chaos(args) -> int:
             plant=args.plant,
             mode="live" if args.live else "sim",
             wan_profile=args.wan,
+            membership=args.membership,
         )
     except ValueError as exc:
         print(f"chaos: {exc}", file=sys.stderr)
@@ -291,6 +292,12 @@ def main(argv: list[str] | None = None) -> int:
         "--profile",
         choices=("crashes", "partitions", "gray", "mixed"),
         default="mixed",
+    )
+    chaos.add_argument(
+        "--membership",
+        choices=("heartbeat", "gossip"),
+        default="heartbeat",
+        help="failure-detection protocol for the cluster under test",
     )
     chaos.add_argument("--servers", type=int, default=4)
     chaos.add_argument("--sessions", type=int, default=2)

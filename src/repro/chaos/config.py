@@ -69,6 +69,10 @@ class ChaosConfig:
             live mode shapes every link's base delay and jitter from the
             profile's latency matrix and scales the GCS timing constants
             by its ``settings_factor``.
+        membership: failure-detection protocol for the cluster under
+            test — ``heartbeat`` (all-pairs mesh, the default) or
+            ``gossip`` (SWIM; see ``gcs/swim.py``).  Applied to the GCS
+            settings alongside any plant, in both sim and live modes.
     """
 
     n_servers: int = 4
@@ -83,6 +87,7 @@ class ChaosConfig:
     plant: str | None = None
     mode: str = "sim"
     wan_profile: str | None = None
+    membership: str = "heartbeat"
 
     def __post_init__(self) -> None:
         if self.n_servers < 3:
@@ -97,6 +102,10 @@ class ChaosConfig:
             raise ValueError(f"unknown mode {self.mode!r} (valid: sim, live)")
         if self.wan_profile is not None and self.mode != "live":
             raise ValueError("wan_profile requires mode='live'")
+        if self.membership not in ("heartbeat", "gossip"):
+            raise ValueError(
+                f"unknown membership {self.membership!r} (valid: heartbeat, gossip)"
+            )
 
     # ------------------------------------------------------------------
     # derived topology
@@ -144,8 +153,14 @@ class ChaosConfig:
         return policy
 
     def apply_plant_settings(self, settings: GcsSettings) -> GcsSettings:
-        """Weaken the GCS settings when the plant lives at that layer
-        (identity for every other plant — and for no plant at all)."""
+        """Project this config onto the GCS settings: select the
+        failure-detection protocol, then weaken the settings when the
+        plant lives at that layer (identity for every other plant — and
+        for no plant at all)."""
+        if self.membership != settings.membership_mode:
+            settings = dataclasses.replace(
+                settings, membership_mode=self.membership
+            )
         if self.plant == "partition-amnesia":
             return dataclasses.replace(settings, readmit_evicted=False)
         return settings

@@ -2,7 +2,8 @@
 
 A :class:`GcsDaemon` combines
 
-* the heartbeat failure detector,
+* a failure detector — the all-pairs heartbeat mesh or the SWIM gossip
+  detector, selected by ``settings.membership_mode``,
 * the membership engine (view formation with flush),
 * the sequencer-based total order of its current configuration, and
 * the named-group layer (replicated group map, derived group views,
@@ -42,6 +43,7 @@ from repro.gcs.messages import (
 from repro.gcs.ordering import DuplicateFilter, HoldbackBuffer, PendingRequests
 from repro.gcs.settings import GcsSettings
 from repro.gcs.spec import SpecMonitor
+from repro.gcs.swim import SwimDetector
 from repro.gcs.view import Configuration, GroupView, ViewId
 from repro.sim.network import Message, Network
 from repro.sim.process import Process
@@ -83,12 +85,37 @@ class GcsDaemon(Process):
         self.app = app
         self.settings = settings or GcsSettings()
         self.monitor = monitor
-        self.fd = FailureDetector(
-            node_id,
-            self.settings.suspect_timeout,
-            lambda: self.sim.now,
-            self._on_fd_change,
-        )
+        if self.settings.membership_mode not in ("heartbeat", "gossip"):
+            raise ValueError(
+                f"unknown membership_mode {self.settings.membership_mode!r}"
+                " (expected 'heartbeat' or 'gossip')"
+            )
+        # The failure detector: the classic all-pairs heartbeat mesh, or
+        # the SWIM gossip detector (same surface, constant per-node probe
+        # work — see gcs/swim.py).  ``self.fd`` is what every consumer
+        # above the detector interface uses; ``self.swim`` is non-None
+        # only in gossip mode, for the wiring that is protocol-specific
+        # (probe timer, swim message dispatch).
+        self.swim: SwimDetector | None = None
+        if self.settings.membership_mode == "gossip":
+            self.swim = SwimDetector(
+                node_id,
+                self.world,
+                self.settings,
+                lambda: self.sim.now,
+                self._on_fd_change,
+                self.send_protocol,
+                self._swim_local_state,
+                self._swim_schedule,
+            )
+            self.fd: Any = self.swim
+        else:
+            self.fd = FailureDetector(
+                node_id,
+                self.settings.suspect_timeout,
+                lambda: self.sim.now,
+                self._on_fd_change,
+            )
         self.membership = MembershipEngine(self)
         self.config = Configuration.make(ViewId(0, node_id), [node_id])
         self.holdback = HoldbackBuffer()
@@ -105,6 +132,7 @@ class GcsDaemon(Process):
         self._membership_event_guard: dict[tuple, int] = {}
         self._config_installed_at = 0.0
         self._hb_timer = None
+        self._probe_timer = None
         # sequencer batching: messages stamped but not yet disseminated
         self._batch: list[Sequenced] = []
         self._batch_timer = None
@@ -163,9 +191,19 @@ class GcsDaemon(Process):
             label=f"hb:{self.node_id}",
             first_delay=0.0 if self.sim.now == 0 else None,
         )
+        if self.swim is not None:
+            # gossip mode: the probe round runs on its own cadence (the
+            # protocol tick above keeps driving membership/order upkeep)
+            self._probe_timer = self.set_periodic_timer(  # repro-lint: allow(P202)
+                self.settings.probe_interval,
+                self.swim.on_probe_tick,
+                label=f"swim:{self.node_id}",
+                first_delay=0.0 if self.sim.now == 0 else None,
+            )
 
     def _tick(self) -> None:
-        self._broadcast_heartbeat()
+        if self.swim is None:
+            self._broadcast_heartbeat()
         self.fd.check()
         self.membership.on_tick()
         if self.config_divergence_detected():
@@ -204,6 +242,22 @@ class GcsDaemon(Process):
 
     def _on_fd_change(self) -> None:
         self.membership.reconfigure()
+
+    def _swim_local_state(self) -> tuple[int, int, ViewId | None]:
+        """What the SWIM detector stamps on every message it authors
+        (the gossip-mode equivalent of the heartbeat's header fields)."""
+        return (
+            self.incarnation,
+            self.membership.view_counter,
+            self.config.view_id,
+        )
+
+    def _swim_schedule(self, delay: float, callback: Any) -> None:
+        """One-shot timers for the probe state machine.  The handles are
+        deliberately dropped: probe deadlines are keyed by sequence number
+        inside the detector (a late firing for an acked probe is a no-op),
+        and ``crash()`` cancels them with every other timer of this node."""
+        self.set_timer(delay, callback, label=f"swim:{self.node_id}")
 
     # ------------------------------------------------------------------
     # public endpoint API
@@ -481,7 +535,10 @@ class GcsDaemon(Process):
         # Announce the new view immediately (piggyback suppression would
         # otherwise delay the heartbeat that lets peers spot the divergence
         # and pull us back in).
-        self._broadcast_heartbeat(force=True)
+        if self.swim is not None:
+            self.swim.announce()
+        else:
+            self._broadcast_heartbeat(force=True)
         self.membership.reconfigure()
 
     # ------------------------------------------------------------------
@@ -745,8 +802,16 @@ class GcsDaemon(Process):
                 self.trace("gcs.evicted_liveness_ignored", peer=message.sender)
             if isinstance(payload, Heartbeat):
                 return
+            if self.swim is not None and self.swim.owns(payload):
+                # gossip-mode liveness evidence from an evicted peer is
+                # discarded the same way the mesh drops its heartbeats
+                return
         elif isinstance(payload, Heartbeat):
             self.fd.on_heartbeat(payload)
+            return
+        elif self.swim is not None and self.swim.on_message(
+            payload, message.sender
+        ):
             return
         if self.settings.piggyback_liveness and (
             readmitting or message.sender not in self._evicted

@@ -26,7 +26,7 @@ from repro.sim.topology import NodeId
 class _PeerState:
     last_heard: float
     incarnation: int
-    config_view_id: object = None
+    config_view_id: ViewId | None = None
     # when the peer last *reported* its view id (a real heartbeat, not
     # mere traffic evidence) — divergence detection must compare against
     # this, or a stale view report kept "fresh" by data traffic would
@@ -57,16 +57,34 @@ class FailureDetector:
         self._peers: dict[NodeId, _PeerState] = {}
         self._alive: set[NodeId] = set()
         self.max_view_counter_seen = 0
+        # Conservative lower bound on the earliest instant any alive peer
+        # can expire: check() is O(1) until the clock passes it.  Refreshes
+        # (heartbeats, traffic) only push real expiries *later*, so a
+        # stale-low bound costs one redundant scan, never a missed expiry.
+        self._next_expiry = float("inf")
+        # Observability for the bound (pinned by the unit test): how many
+        # check() calls returned without scanning vs. scanned the table.
+        self.idle_checks = 0
+        self.full_scans = 0
 
     def on_heartbeat(self, heartbeat: Heartbeat) -> None:
-        """Feed one received heartbeat; may fire ``on_change``."""
+        """Feed one received heartbeat; may fire ``on_change``.
+
+        A heartbeat carrying an incarnation *lower* than the one already
+        recorded is stale pre-restart traffic (e.g. delayed in flight
+        across the peer's crash/recovery) and is ignored outright — it
+        must not resurrect the old incarnation's aliveness or roll the
+        recorded incarnation backwards.
+        """
         peer = heartbeat.sender
         if peer == self.me:
+            return
+        state = self._peers.get(peer)
+        if state is not None and heartbeat.incarnation < state.incarnation:
             return
         self.max_view_counter_seen = max(
             self.max_view_counter_seen, heartbeat.view_counter
         )
-        state = self._peers.get(peer)
         changed = False
         if state is None:
             self._peers[peer] = _PeerState(
@@ -85,6 +103,9 @@ class FailureDetector:
             state.last_view_report = self._now()
         if peer not in self._alive:
             self._alive.add(peer)
+            self._next_expiry = min(
+                self._next_expiry, self._now() + self.suspect_timeout
+            )
             changed = True
         if changed:
             self._on_change()
@@ -104,16 +125,33 @@ class FailureDetector:
         state.last_heard = self._now()
         if peer not in self._alive:
             self._alive.add(peer)
+            self._next_expiry = min(
+                self._next_expiry, self._now() + self.suspect_timeout
+            )
             self._on_change()
 
     def check(self) -> None:
-        """Expire peers whose last heartbeat is older than the timeout."""
+        """Expire peers whose last heartbeat is older than the timeout.
+
+        O(1) while the clock has not reached the tracked next-expiry
+        bound — with hundreds of daemons ticking several times per
+        suspect timeout, the common case is "nothing can have expired
+        yet" and must not rescan the whole peer table.
+        """
         now = self._now()
-        expired = {
-            peer
-            for peer in self._alive
-            if now - self._peers[peer].last_heard > self.suspect_timeout
-        }
+        if now <= self._next_expiry:
+            self.idle_checks += 1
+            return
+        self.full_scans += 1
+        expired: set[NodeId] = set()
+        next_expiry = float("inf")
+        for peer in sorted(self._alive, key=str):
+            deadline = self._peers[peer].last_heard + self.suspect_timeout
+            if now > deadline:
+                expired.add(peer)
+            else:
+                next_expiry = min(next_expiry, deadline)
+        self._next_expiry = next_expiry
         if expired:
             self._alive -= expired
             self._on_change()
@@ -129,6 +167,7 @@ class FailureDetector:
         """Forget everything (used on process recovery)."""
         self._peers.clear()
         self._alive.clear()
+        self._next_expiry = float("inf")
 
     def alive_peers(self) -> frozenset[NodeId]:
         """Peers currently believed alive (never includes ``me``)."""
@@ -142,7 +181,9 @@ class FailureDetector:
         state = self._peers.get(peer)
         return state.incarnation if state else None
 
-    def divergent_peers(self, my_config_view_id: ViewId, heard_after: float) -> list[NodeId]:
+    def divergent_peers(
+        self, my_config_view_id: ViewId, heard_after: float
+    ) -> list[NodeId]:
         """Alive peers whose latest heartbeat (newer than ``heard_after``)
         reports a configuration different from mine.
 
@@ -152,7 +193,7 @@ class FailureDetector:
         notices, keeps serving, and loses everything at the next merge.
         Detecting it drives a reconfiguration that reunites the component.
         """
-        divergent = []
+        divergent: list[NodeId] = []
         for peer in sorted(self._alive, key=str):
             state = self._peers[peer]
             if state.last_view_report < heard_after:

@@ -49,6 +49,89 @@ class Heartbeat:
 
 
 # ---------------------------------------------------------------------------
+# SWIM gossip failure detection (membership_mode="gossip"; see gcs/swim.py)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SwimUpdate:  # repro-lint: allow(P201) — carried inside swim payloads, not dispatched
+    """One piggybacked membership observation: ``subject`` is in ``status``
+    at ordering point ``(incarnation, epoch)``.
+
+    ``incarnation`` is the subject's process incarnation (bumped by the
+    runtime on restart); ``epoch`` is the subject's refutation counter
+    within that incarnation.  Observations are ordered lexicographically by
+    ``(incarnation, epoch)``; at an equal point a stronger status wins
+    (dead > suspect > alive), which is what makes dissemination monotone.
+    """
+
+    subject: NodeId
+    status: int  # 0 = alive, 1 = suspect, 2 = dead (gcs/swim.py constants)
+    incarnation: int
+    epoch: int
+
+
+@dataclass(frozen=True, slots=True)
+class SwimPing:
+    """Direct (``origin=None``) or relayed probe of the receiver.
+
+    A helper relaying an indirect probe stamps ``origin`` with the
+    requesting prober so the target's ack can find its way back.
+    ``updates`` piggybacks pending gossip."""
+
+    sender: NodeId
+    incarnation: int
+    view_counter: int
+    config_view_id: ViewId | None
+    probe_seq: int
+    origin: NodeId | None
+    updates: tuple[SwimUpdate, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SwimAck:
+    """Probe response.  ``origin`` echoes the ping's origin: a helper
+    receiving an ack destined for another prober forwards it verbatim."""
+
+    sender: NodeId
+    incarnation: int
+    view_counter: int
+    config_view_id: ViewId | None
+    probe_seq: int
+    origin: NodeId | None
+    updates: tuple[SwimUpdate, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SwimPingReq:
+    """Prober -> helper: ping ``target`` on my behalf (indirect probe after
+    the direct ping timed out; ``probe_seq`` is the prober's sequence)."""
+
+    sender: NodeId
+    incarnation: int
+    view_counter: int
+    config_view_id: ViewId | None
+    target: NodeId
+    probe_seq: int
+    updates: tuple[SwimUpdate, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SwimDigest:
+    """Anti-entropy: the sender's full membership table.  The receiver
+    merges it under the update ordering and, when ``reply_requested``,
+    answers with its own digest (push-pull), which is what re-converges
+    views after a partition heals."""
+
+    sender: NodeId
+    incarnation: int
+    view_counter: int
+    config_view_id: ViewId | None
+    entries: tuple[SwimUpdate, ...]
+    reply_requested: bool = False
+
+
+# ---------------------------------------------------------------------------
 # total order
 # ---------------------------------------------------------------------------
 
@@ -241,6 +324,11 @@ __all__ = [
     "ResyncRequired",
     "Sequenced",
     "SequencedBatch",
+    "SwimAck",
+    "SwimDigest",
+    "SwimPing",
+    "SwimPingReq",
+    "SwimUpdate",
     "SyncReply",
 ]
 

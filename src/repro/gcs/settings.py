@@ -57,6 +57,27 @@ class GcsSettings:
             heartbeats, the components never re-merge, and both primaries
             persist forever.  Exists only as a chaos-engine plant
             (``ChaosConfig.plant = "partition-amnesia"``).
+        membership_mode: failure-detection protocol — ``"heartbeat"`` is
+            the all-pairs mesh above, ``"gossip"`` the SWIM detector in
+            ``gcs/swim.py`` (constant per-node probe work, epidemic
+            dissemination; see DESIGN.md §14).  Everything above the
+            detector interface is identical in both modes.
+        probe_interval: period of one SWIM probe round (gossip mode only).
+        probe_timeout: how long a prober waits for a direct ack before
+            asking ``swim_fanout`` helpers to probe the target indirectly;
+            must be well under ``probe_interval``.
+        suspicion_multiplier: a suspected member is evicted after
+            ``suspicion_multiplier * probe_interval * log10(n + 1)``
+            seconds of unrefuted suspicion — scaling with the member count
+            gives the subject's refutation time to spread epidemically.
+        swim_fanout: indirect probe helpers per failed direct probe; also
+            the gossip retransmission multiplier (each update is forwarded
+            ``~swim_fanout * log10(n + 1)`` times per node).
+        anti_entropy_interval: period of the push-pull full-digest
+            exchange with one random peer (bounds convergence time after
+            partitions heal and for updates that missed the piggyback).
+        gossip_max_updates: most piggybacked membership updates carried on
+            one swim message (bounds probe frame size).
     """
 
     heartbeat_interval: float = 0.1
@@ -73,6 +94,13 @@ class GcsSettings:
     heartbeat_refresh_factor: int = 4
     holdback_keep: int = 4096
     readmit_evicted: bool = True
+    membership_mode: str = "heartbeat"
+    probe_interval: float = 0.1
+    probe_timeout: float = 0.04
+    suspicion_multiplier: float = 3.0
+    swim_fanout: int = 3
+    anti_entropy_interval: float = 1.0
+    gossip_max_updates: int = 12
 
     @property
     def batching_enabled(self) -> bool:
@@ -91,6 +119,14 @@ class GcsSettings:
         node-kill into a sub-100ms takeover instead of a sub-second one.
         ``suspect_timeout`` stays a few heartbeat intervals to ride out
         scheduler jitter, same rule as the default profile.
+
+        The SWIM knobs are deliberately *less* aggressive than the mesh
+        heartbeat: mesh liveness accepts any heartbeat within the
+        suspicion window, but a SWIM probe demands one specific
+        ping->ack round trip inside ``probe_timeout`` — on a loaded
+        event loop a few milliseconds of scheduling jitter would
+        manufacture suspicions (and under churn, view resyncs) that the
+        network never caused.
         """
         return cls(
             heartbeat_interval=0.008,
@@ -100,6 +136,9 @@ class GcsSettings:
             client_ack_timeout=0.04,
             batch_window=0.001,
             batch_max=64,
+            probe_interval=0.04,
+            probe_timeout=0.02,
+            anti_entropy_interval=0.2,
         )
 
     def scaled(self, factor: float) -> "GcsSettings":
@@ -120,6 +159,13 @@ class GcsSettings:
             heartbeat_refresh_factor=self.heartbeat_refresh_factor,
             holdback_keep=self.holdback_keep,
             readmit_evicted=self.readmit_evicted,
+            membership_mode=self.membership_mode,
+            probe_interval=self.probe_interval * factor,
+            probe_timeout=self.probe_timeout * factor,
+            suspicion_multiplier=self.suspicion_multiplier,
+            swim_fanout=self.swim_fanout,
+            anti_entropy_interval=self.anti_entropy_interval * factor,
+            gossip_max_updates=self.gossip_max_updates,
         )
 
 

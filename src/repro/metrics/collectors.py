@@ -33,4 +33,33 @@ def rate_per_second(count: int, duration: float) -> float:
     return count / duration
 
 
-__all__ = ["rate_per_second", "summarize"]
+#: Message kinds that exist purely to establish liveness/membership —
+#: mesh heartbeats and the whole SWIM probe/gossip vocabulary.  Everything
+#: else (ordering, view formation, application payloads) is data traffic.
+_LIVENESS_KINDS = frozenset({"gcs.heartbeat"})
+_LIVENESS_PREFIX = "swim."
+
+
+def is_liveness_kind(kind: str) -> bool:
+    """True for message kinds carrying only liveness/membership signal."""
+    return kind in _LIVENESS_KINDS or kind.startswith(_LIVENESS_PREFIX)
+
+
+def split_liveness(per_kind: dict) -> tuple[int, int]:
+    """Split a per-kind counter mapping into ``(liveness, data)`` totals.
+
+    Accepts any ``{kind: count}`` mapping (frames or bytes); used by the
+    ``--stats-json`` reports and the membership bench to show membership
+    overhead separately from useful work.
+    """
+    liveness = 0
+    data = 0
+    for kind in sorted(per_kind):
+        if is_liveness_kind(kind):
+            liveness += per_kind[kind]
+        else:
+            data += per_kind[kind]
+    return liveness, data
+
+
+__all__ = ["is_liveness_kind", "rate_per_second", "split_liveness", "summarize"]

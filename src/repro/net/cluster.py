@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
@@ -33,6 +33,7 @@ from repro.core.server import FrameworkServer
 from repro.core.wire import content_group
 from repro.gcs.settings import GcsSettings
 from repro.gcs.spec import SpecMonitor
+from repro.metrics.collectors import split_liveness
 from repro.metrics.session_audit import (
     audit_session,
     lost_acked_updates,
@@ -78,12 +79,21 @@ class LiveClusterOptions:
 
 
 def resolve_profile(name: str) -> GcsSettings:
-    """Map a profile name to its :class:`GcsSettings` preset."""
+    """Map a profile name to its :class:`GcsSettings` preset.  The
+    ``*_gossip`` variants run the same timings with the SWIM gossip
+    detector instead of the heartbeat mesh."""
     if name == "default":
         return GcsSettings()
     if name == "live_lan":
         return GcsSettings.live_lan()
-    raise ValueError(f"unknown settings profile {name!r} (default, live_lan)")
+    if name == "gossip":
+        return replace(GcsSettings(), membership_mode="gossip")
+    if name == "live_lan_gossip":
+        return replace(GcsSettings.live_lan(), membership_mode="gossip")
+    raise ValueError(
+        f"unknown settings profile {name!r}"
+        " (default, live_lan, gossip, live_lan_gossip)"
+    )
 
 
 @dataclass(slots=True)
@@ -379,14 +389,35 @@ def build_report(cluster: LiveCluster, plan: WorkloadPlan) -> dict[str, Any]:
     return report
 
 
-def _dump_stats(path: str | None, transports: dict[str, MeshTransport]) -> None:
-    """Write every transport's full per-peer snapshot as one JSON file."""
+def _dump_stats(
+    path: str | None,
+    transports: dict[str, MeshTransport],
+    networks: dict[str, LiveNetwork] | None = None,
+) -> None:
+    """Write every transport's full per-peer snapshot as one JSON file.
+
+    When the owning networks are supplied, each node also reports its
+    outgoing traffic split into liveness (heartbeats / SWIM probes) and
+    data, in real encoded bytes and frames — the number an operator
+    watches to judge membership overhead at a given cluster size."""
     if path is None:
         return
-    payload = {
+    payload: dict[str, Any] = {
         str(node): transport.stats_snapshot()
         for node, transport in sorted(transports.items(), key=lambda kv: str(kv[0]))
     }
+    for node, network in sorted((networks or {}).items(), key=lambda kv: str(kv[0])):
+        frames = {
+            kind: sent for kind, (sent, _bytes) in network.sent_kind_stats(node).items()
+        }
+        liveness_frames, data_frames = split_liveness(frames)
+        liveness_bytes, data_bytes = split_liveness(network.actual_bytes_sent)
+        payload.setdefault(str(node), {})["traffic_split"] = {
+            "liveness_frames_sent": liveness_frames,
+            "liveness_bytes_sent": liveness_bytes,
+            "data_frames_sent": data_frames,
+            "data_bytes_sent": data_bytes,
+        }
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -398,7 +429,7 @@ async def _run_cluster(options: LiveClusterOptions) -> dict[str, Any]:
         plan = schedule_workload(cluster, options)
         await cluster.runtime.run(plan.duration)
         report = build_report(cluster, plan)
-        _dump_stats(options.stats_json, cluster.transports)
+        _dump_stats(options.stats_json, cluster.transports, cluster.networks)
         return report
     finally:
         await cluster.close()
@@ -471,7 +502,11 @@ async def _serve(options: ServeOptions) -> dict[str, Any]:
     server.start()
     try:
         await runtime.run(options.duration)
-        _dump_stats(options.stats_json, {options.node_id: transport})
+        _dump_stats(
+            options.stats_json,
+            {options.node_id: transport},
+            {options.node_id: network},
+        )
     finally:
         await transport.close()
         if control_server is not None:

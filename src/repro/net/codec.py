@@ -48,10 +48,11 @@ import struct
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Callable
 
-#: Version 2 added the struct fast-path tags (14..22); a v1 peer would
-#: reject those frames as unknown tags, so the version byte makes the
-#: incompatibility explicit instead.
-WIRE_VERSION = 2
+#: Version 2 added the struct fast-path tags (14..22); version 3 the SWIM
+#: gossip vocabulary and its fast tags (23..27).  A peer on an older
+#: version would reject those frames as unknown tags, so the version byte
+#: makes the incompatibility explicit instead.
+WIRE_VERSION = 3
 
 #: Upper bound on one frame's body (a propagation snapshot of a pathological
 #: session state should still fit; anything larger is a protocol bug).
@@ -111,6 +112,12 @@ _T_ORDER_REQUEST = 19
 _T_SEQUENCED = 20
 _T_SEQUENCED_BATCH = 21
 _T_CLIENT_MCAST = 22
+# -- fast-path tags (wire version 3): SWIM gossip membership ----------------
+_T_SWIM_UPDATE = 23
+_T_SWIM_PING = 24
+_T_SWIM_ACK = 25
+_T_SWIM_PING_REQ = 26
+_T_SWIM_DIGEST = 27
 
 
 # ---------------------------------------------------------------------------
@@ -570,6 +577,11 @@ from repro.gcs.messages import (  # noqa: E402
     ResyncRequired,
     Sequenced,
     SequencedBatch,
+    SwimAck,
+    SwimDigest,
+    SwimPing,
+    SwimPingReq,
+    SwimUpdate,
     SyncReply,
 )
 from repro.gcs.view import ViewId  # noqa: E402
@@ -617,6 +629,12 @@ register(ResponseMsg)
 register(VodSessionState)
 register(EducationSessionState)
 register(SearchSessionState)
+# SWIM gossip membership vocabulary (gcs/messages.py, wire version 3)
+register(SwimUpdate)
+register(SwimPing)
+register(SwimAck)
+register(SwimPingReq)
+register(SwimDigest)
 
 
 # ---------------------------------------------------------------------------
@@ -766,6 +784,160 @@ def _dec_sequenced_batch(view: memoryview, offset: int) -> tuple[Any, int]:
     return SequencedBatch(config_view_id, tuple(messages)), offset
 
 
+def _pack_swim_updates(updates: Any, out: bytearray) -> None:
+    if type(updates) is not tuple or len(updates) > 0xFFFF:
+        raise _Fallback
+    out += _U16.pack(len(updates))
+    for update in updates:
+        _encode(update, out, True)
+
+
+def _read_swim_updates(view: memoryview, offset: int) -> tuple[tuple, int]:
+    _need(view, offset, 2)
+    (count,) = _U16.unpack_from(view, offset)
+    offset += 2
+    updates: list[Any] = []
+    for _ in range(count):
+        update, offset = _decode(view, offset)
+        updates.append(update)
+    return tuple(updates), offset
+
+
+def _enc_swim_update(value: Any, out: bytearray) -> None:
+    status = value.status
+    if type(status) is not int or not 0 <= status <= 255:
+        raise _Fallback
+    out.append(_T_SWIM_UPDATE)
+    _pack_str8(value.subject, out)
+    out.append(status)
+    _pack_u32(value.incarnation, out)
+    _pack_u32(value.epoch, out)
+
+
+def _dec_swim_update(view: memoryview, offset: int) -> tuple[Any, int]:
+    subject, offset = _read_str8(view, offset)
+    _need(view, offset, 1)
+    status = view[offset]
+    offset += 1
+    incarnation, offset = _read_u32(view, offset)
+    epoch, offset = _read_u32(view, offset)
+    return SwimUpdate(subject, status, incarnation, epoch), offset
+
+
+def _enc_swim_ping(value: Any, out: bytearray) -> None:
+    out.append(_T_SWIM_PING)
+    _pack_str8(value.sender, out)
+    _pack_u32(value.incarnation, out)
+    _pack_u32(value.view_counter, out)
+    _encode(value.config_view_id, out, True)
+    _pack_u32(value.probe_seq, out)
+    _encode(value.origin, out, True)
+    _pack_swim_updates(value.updates, out)
+
+
+def _dec_swim_ping(view: memoryview, offset: int) -> tuple[Any, int]:
+    sender, offset = _read_str8(view, offset)
+    incarnation, offset = _read_u32(view, offset)
+    view_counter, offset = _read_u32(view, offset)
+    config_view_id, offset = _decode(view, offset)
+    probe_seq, offset = _read_u32(view, offset)
+    origin, offset = _decode(view, offset)
+    updates, offset = _read_swim_updates(view, offset)
+    return (
+        SwimPing(
+            sender, incarnation, view_counter, config_view_id,
+            probe_seq, origin, updates,
+        ),
+        offset,
+    )
+
+
+def _enc_swim_ack(value: Any, out: bytearray) -> None:
+    out.append(_T_SWIM_ACK)
+    _pack_str8(value.sender, out)
+    _pack_u32(value.incarnation, out)
+    _pack_u32(value.view_counter, out)
+    _encode(value.config_view_id, out, True)
+    _pack_u32(value.probe_seq, out)
+    _encode(value.origin, out, True)
+    _pack_swim_updates(value.updates, out)
+
+
+def _dec_swim_ack(view: memoryview, offset: int) -> tuple[Any, int]:
+    sender, offset = _read_str8(view, offset)
+    incarnation, offset = _read_u32(view, offset)
+    view_counter, offset = _read_u32(view, offset)
+    config_view_id, offset = _decode(view, offset)
+    probe_seq, offset = _read_u32(view, offset)
+    origin, offset = _decode(view, offset)
+    updates, offset = _read_swim_updates(view, offset)
+    return (
+        SwimAck(
+            sender, incarnation, view_counter, config_view_id,
+            probe_seq, origin, updates,
+        ),
+        offset,
+    )
+
+
+def _enc_swim_ping_req(value: Any, out: bytearray) -> None:
+    out.append(_T_SWIM_PING_REQ)
+    _pack_str8(value.sender, out)
+    _pack_u32(value.incarnation, out)
+    _pack_u32(value.view_counter, out)
+    _encode(value.config_view_id, out, True)
+    _pack_str8(value.target, out)
+    _pack_u32(value.probe_seq, out)
+    _pack_swim_updates(value.updates, out)
+
+
+def _dec_swim_ping_req(view: memoryview, offset: int) -> tuple[Any, int]:
+    sender, offset = _read_str8(view, offset)
+    incarnation, offset = _read_u32(view, offset)
+    view_counter, offset = _read_u32(view, offset)
+    config_view_id, offset = _decode(view, offset)
+    target, offset = _read_str8(view, offset)
+    probe_seq, offset = _read_u32(view, offset)
+    updates, offset = _read_swim_updates(view, offset)
+    return (
+        SwimPingReq(
+            sender, incarnation, view_counter, config_view_id,
+            target, probe_seq, updates,
+        ),
+        offset,
+    )
+
+
+def _enc_swim_digest(value: Any, out: bytearray) -> None:
+    if type(value.reply_requested) is not bool:
+        raise _Fallback
+    out.append(_T_SWIM_DIGEST)
+    _pack_str8(value.sender, out)
+    _pack_u32(value.incarnation, out)
+    _pack_u32(value.view_counter, out)
+    _encode(value.config_view_id, out, True)
+    _pack_swim_updates(value.entries, out)
+    out.append(1 if value.reply_requested else 0)
+
+
+def _dec_swim_digest(view: memoryview, offset: int) -> tuple[Any, int]:
+    sender, offset = _read_str8(view, offset)
+    incarnation, offset = _read_u32(view, offset)
+    view_counter, offset = _read_u32(view, offset)
+    config_view_id, offset = _decode(view, offset)
+    entries, offset = _read_swim_updates(view, offset)
+    _need(view, offset, 1)
+    reply_requested = view[offset] != 0
+    offset += 1
+    return (
+        SwimDigest(
+            sender, incarnation, view_counter, config_view_id,
+            entries, reply_requested,
+        ),
+        offset,
+    )
+
+
 register_fast(WireEnvelope, _T_ENVELOPE, _enc_envelope, _dec_envelope)
 register_fast(Heartbeat, _T_HEARTBEAT, _enc_heartbeat, _dec_heartbeat)
 register_fast(RequestId, _T_REQUEST_ID, _enc_request_id, _dec_request_id)
@@ -777,6 +949,11 @@ register_fast(Sequenced, _T_SEQUENCED, _enc_sequenced, _dec_sequenced)
 register_fast(
     SequencedBatch, _T_SEQUENCED_BATCH, _enc_sequenced_batch, _dec_sequenced_batch
 )
+register_fast(SwimUpdate, _T_SWIM_UPDATE, _enc_swim_update, _dec_swim_update)
+register_fast(SwimPing, _T_SWIM_PING, _enc_swim_ping, _dec_swim_ping)
+register_fast(SwimAck, _T_SWIM_ACK, _enc_swim_ack, _dec_swim_ack)
+register_fast(SwimPingReq, _T_SWIM_PING_REQ, _enc_swim_ping_req, _dec_swim_ping_req)
+register_fast(SwimDigest, _T_SWIM_DIGEST, _enc_swim_digest, _dec_swim_digest)
 
 
 __all__ = [

@@ -401,6 +401,15 @@ class Network:
             return stats[kind].received if kind in stats else 0
         return sum(s.received for s in stats.values())
 
+    def sent_kind_stats(self, node: NodeId) -> dict[str, tuple[int, int]]:
+        """Per-kind ``(frames, abstract_bytes)`` sent by ``node`` — the
+        source for the liveness-vs-data traffic split in stats reports
+        and the membership bench."""
+        return {
+            kind: (stats.sent, stats.bytes_sent)
+            for kind, stats in self._stats_sent.get(node, {}).items()
+        }
+
     def received_bytes(self, node: NodeId, kind: str | None = None) -> int:
         stats = self._stats_received.get(node, {})
         if kind is not None:
